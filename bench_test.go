@@ -1,0 +1,218 @@
+// Package repro's root benchmark suite regenerates each figure of the
+// paper's evaluation as a testing.B benchmark (one per table/figure), and
+// reports the headline quantity of each as a custom metric. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Benchmarks use the smoke scale so the full suite completes in minutes;
+// cmd/nvbench -scale quick produces the EXPERIMENTS.md numbers.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// BenchmarkTable2 measures raw simulator throughput on the ideal machine
+// (Table II substrate): accesses simulated per second.
+func BenchmarkTable2IdealSubstrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run("Ideal", "btree", experiments.Smoke, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Sum.Accesses), "accesses/op")
+	}
+}
+
+// BenchmarkFig11 reruns the normalized-cycles comparison on the B+Tree
+// workload and reports NVOverlay's slowdown over the ideal system.
+func BenchmarkFig11NormalizedCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Fig11(experiments.Smoke, []string{"btree"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.Get("btree", "NVOverlay"), "nvoverlay-x")
+		b.ReportMetric(m.Get("btree", "PiCL"), "picl-x")
+		b.ReportMetric(m.Get("btree", "SWLog"), "swlog-x")
+	}
+}
+
+// BenchmarkFig12 reruns the write-amplification comparison and reports
+// PiCL's bytes relative to NVOverlay.
+func BenchmarkFig12WriteAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Fig12(experiments.Smoke, []string{"btree"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.Get("btree", "PiCL"), "picl-x")
+		b.ReportMetric(m.Get("btree", "PiCL-L2"), "picl-l2-x")
+		b.ReportMetric(m.Get("btree", "HWShadow"), "hwshadow-x")
+	}
+}
+
+// BenchmarkFig13 reruns the mapping-metadata-cost measurement and reports
+// the Master Table's share of the write working set.
+func BenchmarkFig13MasterTableCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(experiments.Smoke, []string{"btree"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MasterPct, "master-pct")
+		b.ReportMetric(rows[0].LeafOccupancy, "leaf-occ")
+	}
+}
+
+// BenchmarkFig14 reruns the epoch-size sensitivity sweep on ART and
+// reports PiCL's byte reduction from the smallest to the largest epoch.
+func BenchmarkFig14EpochSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig14(experiments.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var small, big int64
+		for _, p := range pts {
+			if p.Scheme != "PiCL" {
+				continue
+			}
+			if small == 0 {
+				small = p.RawBytes
+			}
+			big = p.RawBytes
+		}
+		b.ReportMetric(float64(small-big)/float64(small)*100, "picl-byte-drop-pct")
+	}
+}
+
+// BenchmarkFig15 reruns the evict-reason decomposition on ART and reports
+// each scheme's tag-walker dependence.
+func BenchmarkFig15EvictReasons(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15(experiments.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Walker {
+				continue
+			}
+			switch r.Scheme {
+			case "PiCL":
+				b.ReportMetric(r.WalkPct, "picl-walk-pct")
+			case "NVOverlay":
+				b.ReportMetric(r.WalkPct, "nvoverlay-walk-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig16 reruns the OMC-buffer ablation and reports the buffer hit
+// rate and the cycle cost of running without it.
+func BenchmarkFig16OMCBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16(experiments.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.BufferHitRate, "hit-pct")
+		b.ReportMetric(r.NormCyclesNoBuffer, "nobuffer-x")
+	}
+}
+
+// BenchmarkFig17 reruns the bandwidth time series on B+Tree and reports
+// the PiCL/NVOverlay total-traffic ratio.
+func BenchmarkFig17Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig17(experiments.Smoke, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var picl, nvo float64
+		for _, s := range series {
+			if s.Scheme == "PiCL" {
+				picl = float64(s.Series.Total())
+			} else {
+				nvo = float64(s.Series.Total())
+			}
+		}
+		b.ReportMetric(picl/nvo, "picl-over-nvo")
+	}
+}
+
+// BenchmarkFig17Bursty reruns the bursty-epoch variant (time-travel
+// debugging watch points).
+func BenchmarkFig17BurstyEpochs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig17(experiments.Smoke, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var picl, nvo float64
+		for _, s := range series {
+			if s.Scheme == "PiCL" {
+				picl = float64(s.Series.Total())
+			} else {
+				nvo = float64(s.Series.Total())
+			}
+		}
+		b.ReportMetric(picl/nvo, "picl-over-nvo")
+	}
+}
+
+// BenchmarkAblateWalker measures the walker on/off cycle delta.
+func BenchmarkAblateWalker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateWalker(experiments.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.CyclesOff)/float64(r.CyclesOn), "off-over-on")
+	}
+}
+
+// BenchmarkAblateSuperBlock measures the §V-F side-band trade-off.
+func BenchmarkAblateSuperBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateSuperBlock(experiments.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.SideBandBytesLine)/float64(r.SideBandBytesSuper), "sideband-saving-x")
+	}
+}
+
+// BenchmarkSchemes measures end-to-end simulation throughput per scheme on
+// one workload (accesses simulated per wall-clock second appear as the
+// benchmark's ns/op).
+func BenchmarkSchemes(b *testing.B) {
+	for _, scheme := range append([]string{"Ideal"}, experiments.SchemeNames...) {
+		b.Run(scheme, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(scheme, "vacation", experiments.Smoke, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWrapAround exercises the 16-bit epoch wrap-around path
+// (§IV-D) under a narrow 6-bit wire width so group transitions are
+// frequent.
+func BenchmarkWrapAround(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Run("NVOverlay", "btree", experiments.Smoke, func(c *sim.Config) {
+			c.WrapEpochs = true
+			c.WrapWidth = 6
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

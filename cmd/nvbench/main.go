@@ -1,0 +1,203 @@
+// Command nvbench regenerates the paper's evaluation: every figure of
+// section VII plus the extra ablations DESIGN.md calls out, printed as the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	nvbench -exp all -scale quick
+//	nvbench -exp fig12 -workloads btree,art,kmeans
+//	nvbench -exp fig17b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, all")
+		scale  = flag.String("scale", "quick", "run scale: smoke, quick, full")
+		wlCSV  = flag.String("workloads", "", "comma-separated workload subset (default: all twelve)")
+		timing = flag.Bool("time", true, "print wall-clock duration per experiment")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var wls []string
+	if *wlCSV != "" {
+		wls = strings.Split(*wlCSV, ",")
+		for _, w := range wls {
+			if _, err := workload.Get(w); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *timing {
+			fmt.Printf("[%s took %.1fs]\n", name, time.Since(start).Seconds())
+		}
+		fmt.Println()
+	}
+
+	all := *exp == "all"
+	out := os.Stdout
+
+	if all || *exp == "config" {
+		run("config", func() error {
+			cfg := sim.DefaultConfig()
+			cfg.EpochSize = sc.EpochSize
+			if sc.Machine != nil {
+				sc.Machine(&cfg)
+			}
+			experiments.PrintConfig(out, &cfg)
+			fmt.Printf("  Scale       %s: %d accesses, caches scaled to keep the paper's\n",
+				sc.Name, sc.MaxAccesses)
+			fmt.Println("              epoch-write-set vs L2/LLC capacity relationships")
+			return nil
+		})
+	}
+	if all || *exp == "fig11" {
+		run("fig11", func() error {
+			m, err := experiments.Fig11(sc, wls)
+			if err != nil {
+				return err
+			}
+			experiments.PrintMatrix(out, m)
+			return nil
+		})
+	}
+	if all || *exp == "fig12" {
+		run("fig12", func() error {
+			m, err := experiments.Fig12(sc, wls)
+			if err != nil {
+				return err
+			}
+			experiments.PrintMatrix(out, m)
+			return nil
+		})
+	}
+	if all || *exp == "fig13" {
+		run("fig13", func() error {
+			rows, err := experiments.Fig13(sc, wls)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig13(out, rows)
+			return nil
+		})
+	}
+	if all || *exp == "fig14" {
+		run("fig14", func() error {
+			pts, err := experiments.Fig14(sc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig14(out, pts)
+			return nil
+		})
+	}
+	if all || *exp == "fig15" {
+		run("fig15", func() error {
+			rows, err := experiments.Fig15(sc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig15(out, rows)
+			return nil
+		})
+	}
+	if all || *exp == "fig16" {
+		run("fig16", func() error {
+			r, err := experiments.Fig16(sc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig16(out, r)
+			return nil
+		})
+	}
+	if all || *exp == "fig17" {
+		run("fig17", func() error {
+			series, err := experiments.Fig17(sc, false)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig17(out, series)
+			return nil
+		})
+	}
+	if all || *exp == "fig17b" {
+		run("fig17b", func() error {
+			series, err := experiments.Fig17(sc, true)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig17(out, series)
+			return nil
+		})
+	}
+	if all || *exp == "ablate-superblock" {
+		run("ablate-superblock", func() error {
+			r, err := experiments.AblateSuperBlock(sc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSuperBlock(out, r)
+			return nil
+		})
+	}
+	if all || *exp == "ablate-scaling" {
+		run("ablate-scaling", func() error {
+			pts, err := experiments.AblateScaling(sc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintScaling(out, pts)
+			return nil
+		})
+	}
+	if all || *exp == "ablate-walker" {
+		run("ablate-walker", func() error {
+			r, err := experiments.AblateWalker(sc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintWalker(out, r)
+			return nil
+		})
+	}
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "smoke":
+		return experiments.Smoke, nil
+	case "quick":
+		return experiments.Quick, nil
+	case "full":
+		return experiments.Full, nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (smoke, quick, full)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command nvsim runs one (workload, scheme) pair through the simulator and
+// prints the run summary and counter dump. It is the single-experiment
+// companion to cmd/nvbench.
+//
+// Usage:
+//
+//	nvsim -scheme NVOverlay -workload btree -scale quick
+//	nvsim -scheme PiCL -workload art -accesses 500000 -epoch 5000 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "NVOverlay", "scheme: Ideal, SWLog, SWShadow, HWShadow, PiCL, PiCL-L2, NVOverlay")
+		wl       = flag.String("workload", "btree", "workload: "+strings.Join(workload.Names(), ", "))
+		scale    = flag.String("scale", "quick", "run scale: smoke, quick, full")
+		accesses = flag.Uint64("accesses", 0, "override the scale's access budget")
+		epoch    = flag.Int("epoch", 0, "override the scale's epoch size (stores)")
+		walker   = flag.Bool("walker", true, "enable the tag walker")
+		buffer   = flag.Bool("buffer", false, "enable the OMC buffer (NVOverlay)")
+		seed     = flag.Int64("seed", 42, "workload PRNG seed")
+		stats    = flag.Bool("stats", false, "dump all counters")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *accesses > 0 {
+		sc.MaxAccesses = *accesses
+	}
+	res, err := experiments.Run(*scheme, *wl, sc, func(c *sim.Config) {
+		if *epoch > 0 {
+			c.EpochSize = *epoch
+		}
+		c.TagWalker = *walker
+		c.OMCBuffer = *buffer
+		c.Seed = *seed
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.Sum
+	fmt.Printf("scheme    %s\n", s.Scheme)
+	fmt.Printf("workload  %s\n", s.Workload)
+	fmt.Printf("cycles    %d\n", s.Cycles)
+	fmt.Printf("accesses  %d (%d stores, %d ops)\n", s.Accesses, s.Stores, s.Ops)
+	fmt.Printf("footprint %.2f MB\n", float64(s.Footprint)/(1<<20))
+	fmt.Printf("nvm bytes %d (data %d, log %d, meta %d, context %d)\n",
+		s.NVMBytes, s.DataBytes, s.LogBytes, s.MetaBytes, s.CtxBytes)
+	if s.Stores > 0 {
+		fmt.Printf("write amp %.2f NVM bytes per stored byte (store = 8 B)\n",
+			float64(s.NVMBytes)/float64(s.Stores*8))
+	}
+	nvm := res.Scheme.NVM()
+	fmt.Printf("nvm wear  max %d writes/page over %d pages\n", nvm.MaxWear(), nvm.PagesTouched())
+	fmt.Printf("bandwidth %s\n", nvm.Series().Sparkline())
+	if *stats {
+		fmt.Println("\ncounters:")
+		fmt.Print(res.Scheme.Stats().Dump("  "))
+	}
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "smoke":
+		return experiments.Smoke, nil
+	case "quick":
+		return experiments.Quick, nil
+	case "full":
+		return experiments.Full, nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (smoke, quick, full)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+// Package baseline implements the five comparison schemes of the paper's
+// evaluation (§VI-B) plus the no-snapshotting ideal that Figure 11
+// normalises against:
+//
+//   - Ideal      — plain hierarchy, no persistence work at all.
+//   - SWLog      — software undo logging: a synchronous 72-byte log entry
+//     behind a persistence barrier on the first write to each
+//     line per epoch, plus a synchronous write-set flush at
+//     every epoch boundary.
+//   - SWShadow   — software shadow paging: a synchronous shadow-copy write
+//     on first write, plus a synchronous flush and persistent
+//     mapping-table update at every boundary.
+//   - HWShadow   — ThyNVM-style hardware shadow paging: data persistence is
+//     overlapped with execution, but the centralized mapping
+//     table is updated synchronously at each boundary.
+//   - PiCL       — hardware undo logging with a version-tagged inclusive
+//     LLC and an epoch-boundary LLC tag walk (ACS).
+//   - PiCLL2     — the paper's hypothetical PiCL variant tracking at the
+//     L2, for machines without a monolithic inclusive LLC.
+//
+// All six run on the directory-MESI hierarchy of internal/coherence and
+// share epoch bookkeeping via the embedded base type.
+package baseline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// NVM address-space regions used by baseline persistence traffic.
+const (
+	logBase    uint64 = 1 << 43 // undo/redo log area
+	shadowBase uint64 = 1 << 44 // shadow-copy area
+	tableBase  uint64 = 1 << 45 // persistent mapping tables
+)
+
+// base carries the state shared by every baseline: the hierarchy, devices,
+// a global epoch driven by the total store count, and counters.
+type base struct {
+	name   string
+	cfg    *sim.Config
+	nvm    *mem.NVM
+	dram   *mem.DRAM
+	h      *coherence.Hierarchy
+	clocks *sim.Clocks
+	stat   *stats.Set
+
+	epoch     uint64
+	stores    int
+	totStores uint64
+	logCursor uint64
+
+	// evict-reason accounting for Fig 15.
+	evCapacity, evCoherence, evWalk, evLog uint64
+}
+
+func newBase(name string, cfg *sim.Config) *base {
+	return &base{
+		name:      name,
+		cfg:       cfg,
+		nvm:       mem.NewNVM(cfg),
+		dram:      mem.NewDRAM(cfg),
+		stat:      stats.NewSet(name),
+		epoch:     1,
+		logCursor: logBase,
+	}
+}
+
+// Name implements trace.Scheme.
+func (b *base) Name() string { return b.name }
+
+// Bind implements trace.Scheme.
+func (b *base) Bind(clocks *sim.Clocks) { b.clocks = clocks }
+
+// Stats implements trace.Scheme.
+func (b *base) Stats() *stats.Set {
+	s := stats.NewSet(b.name)
+	s.Merge(b.stat)
+	s.Merge(b.h.Stats())
+	s.Merge(b.nvm.Stats())
+	return s
+}
+
+// NVM implements trace.Scheme.
+func (b *base) NVM() *mem.NVM { return b.nvm }
+
+// Hierarchy exposes the cache hierarchy (tests).
+func (b *base) Hierarchy() *coherence.Hierarchy { return b.h }
+
+// Epoch returns the current global epoch.
+func (b *base) Epoch() uint64 { return b.epoch }
+
+// EvictReasons returns (capacity, coherence, walk) version/data write
+// counts for the Fig 15 decomposition; log writes are reported separately.
+func (b *base) EvictReasons() (capacity, coher, walk, logw uint64) {
+	return b.evCapacity, b.evCoherence, b.evWalk, b.evLog
+}
+
+// now returns the current time of thread tid (schemes issue background NVM
+// traffic at the triggering thread's clock).
+func (b *base) now(tid int) uint64 { return b.clocks.Now(tid) }
+
+// maxNow returns the latest thread clock (epoch-boundary work happens when
+// the whole machine reaches the boundary).
+func (b *base) maxNow() uint64 { return b.clocks.Max() }
+
+// nextLog returns the next log-entry address, striding across NVM banks.
+func (b *base) nextLog() uint64 {
+	a := b.logCursor
+	b.logCursor += uint64(b.cfg.LineSize) // 72B entries padded to a line stride
+	if b.logCursor >= logBase+(1<<30) {
+		b.logCursor = logBase
+	}
+	return a
+}
+
+// bumpStore advances the global epoch after cfg.EpochSize stores and
+// invokes the scheme's boundary hook.
+func (b *base) bumpStore(onBoundary func(closing uint64)) {
+	b.stores++
+	b.totStores++
+	if b.stores >= b.cfg.EpochSizeAt(b.totStores) {
+		b.stores = 0
+		closing := b.epoch
+		b.epoch++
+		b.stat.Inc("epoch_boundaries")
+		if onBoundary != nil {
+			onBoundary(closing)
+		}
+	}
+}
+
+// stallAll stalls every thread for cost cycles (software barriers and
+// synchronous table updates are global).
+func (b *base) stallAll(cost uint64) {
+	if cost > 0 {
+		b.clocks.StallGroup(0, b.cfg.Cores, cost)
+		b.stat.Add("barrier_stall_cycles", int64(cost))
+	}
+}
+
+// flushDirtySync synchronously writes every dirty line at most maxOID to
+// dst (home or shadow), returning when the last write is durable. All
+// lines are also marked clean in place and the DRAM working copy is
+// refreshed so the oracle stays consistent.
+func (b *base) flushDirtySync(maxOID uint64, region uint64, class mem.WriteClass) uint64 {
+	lines := b.h.DirtyLines(maxOID)
+	now := b.maxNow()
+	var finish uint64
+	for _, ln := range lines {
+		lat := b.nvm.WriteSync(class, region+ln.Tag, b.cfg.LineSize, now)
+		if lat > finish {
+			finish = lat
+		}
+	}
+	b.markClean(lines)
+	b.stat.Add("flushed_lines", int64(len(lines)))
+	return finish
+}
+
+// flushDirtyAsync writes the dirty lines in the background (bank bookings
+// only) — used by the hardware schemes that overlap persistence.
+func (b *base) flushDirtyAsync(maxOID uint64, region uint64, class mem.WriteClass) (stall uint64) {
+	lines := b.h.DirtyLines(maxOID)
+	now := b.maxNow()
+	for _, ln := range lines {
+		stall += b.nvm.Write(class, region+ln.Tag, b.cfg.LineSize, now+stall)
+	}
+	b.markClean(lines)
+	b.stat.Add("flushed_lines", int64(len(lines)))
+	return stall
+}
+
+// markClean clears the dirty bit of the given addresses throughout the
+// hierarchy and refreshes DRAM so silently dropped clean lines stay
+// coherent with the backing store.
+func (b *base) markClean(lines []cache.Line) {
+	addrs := make(map[uint64]cache.Line, len(lines))
+	for _, ln := range lines {
+		addrs[ln.Tag] = ln
+	}
+	clean := func(c *cache.Cache) {
+		c.ForEach(func(ln *cache.Line) {
+			if newest, ok := addrs[ln.Tag]; ok {
+				// The checkpoint persisted the newest copy; every cached
+				// copy — including stale clean ones in the inclusive LLC —
+				// is synchronised to it, so nothing stale can resurface
+				// after the newest copies lose their dirty bits and are
+				// silently dropped.
+				ln.Dirty = false
+				ln.Data = newest.Data
+				ln.OID = newest.OID
+			}
+		})
+	}
+	for tid := 0; tid < b.cfg.Cores; tid++ {
+		clean(b.h.L1(tid))
+	}
+	for vd := 0; vd < b.cfg.VDs(); vd++ {
+		clean(b.h.L2(vd))
+	}
+	for i := 0; i < b.h.Slices(); i++ {
+		clean(b.h.LLCSlice(i))
+	}
+	for _, ln := range lines {
+		b.dram.WriteBack(ln.Tag, ln.OID, ln.Data)
+	}
+}
+
+var (
+	_ = tableBase
+)

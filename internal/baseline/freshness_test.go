@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestBaselineFreshness runs the data-freshness oracle through every
+// baseline scheme: loads must observe the newest stored payload even as
+// epoch boundaries flush, mark lines clean, and refresh the DRAM working
+// copy underneath.
+func TestBaselineFreshness(t *testing.T) {
+	builders := map[string]func(cfg *sim.Config) trace.Scheme{
+		"Ideal":    func(cfg *sim.Config) trace.Scheme { return NewIdeal(cfg) },
+		"SWLog":    func(cfg *sim.Config) trace.Scheme { return NewSWLog(cfg) },
+		"SWShadow": func(cfg *sim.Config) trace.Scheme { return NewSWShadow(cfg) },
+		"HWShadow": func(cfg *sim.Config) trace.Scheme { return NewHWShadow(cfg) },
+		"PiCL":     func(cfg *sim.Config) trace.Scheme { return NewPiCL(cfg) },
+		"PiCL-L2":  func(cfg *sim.Config) trace.Scheme { return NewPiCLL2(cfg) },
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			cfg := blCfg()
+			cfg.EpochSize = 40
+			s := build(cfg)
+			clocks := sim.NewClocks(cfg.Cores)
+			s.Bind(clocks)
+			h := s.(interface{ Hierarchy() *coherence.Hierarchy }).Hierarchy()
+			r := sim.NewRNG(17)
+			latest := map[uint64]uint64{}
+			var token uint64
+			for i := 0; i < 15000; i++ {
+				tid := r.Intn(cfg.Cores)
+				addr := uint64(r.Intn(200) * 64)
+				if r.Intn(3) == 0 {
+					token++
+					clocks.Advance(tid, s.Access(tid, addr, true, token)+2)
+					latest[addr] = token
+				} else {
+					clocks.Advance(tid, s.Access(tid, addr, false, 0)+2)
+					ln := h.L1(tid).Peek(addr)
+					if ln == nil {
+						t.Fatalf("iteration %d: loaded line %#x absent", i, addr)
+					}
+					if ln.Data != latest[addr] {
+						t.Fatalf("iteration %d: tid %d read %d of %#x, want %d (stale, scheme %s)",
+							i, tid, ln.Data, addr, latest[addr], name)
+					}
+				}
+			}
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PiCL is hardware undo logging at the LLC (Nguyen & Wentzlaff, MICRO'18;
+// §VI-B): on the first store to a line in an epoch the old value is logged
+// to NVM in the background (72-byte entry); the inclusive LLC is
+// version-tagged, and after each epoch boundary a tag walker (ACS) writes
+// the previous epoch's dirty lines back to their NVM home. Dirty lines
+// evicted from the LLC mid-epoch also write their home location. Per the
+// paper we ignore global epoch-synchronisation overhead and model the data
+// path only.
+type PiCL struct {
+	*base
+}
+
+// NewPiCL builds the scheme.
+func NewPiCL(cfg *sim.Config) *PiCL {
+	s := &PiCL{base: newBase("PiCL", cfg)}
+	s.h = coherence.New(cfg, s.dram, coherence.Callbacks{
+		OnStore: func(tid, vd int, ln *cache.Line) uint64 {
+			var extra uint64
+			if ln.OID < s.epoch {
+				// First store this epoch: log the old value (background).
+				s.evLog++
+				s.stat.Inc("log_entries")
+				extra = s.nvm.Write(mem.WLog, s.nextLog(), 72, s.now(tid))
+			}
+			ln.OID = s.epoch
+			return extra
+		},
+		OnLLCWriteBack: func(ln cache.Line, reason coherence.Reason) uint64 {
+			// A dirty line leaving the LLC writes its NVM home.
+			s.evCapacity++
+			s.stat.Inc("home_writes")
+			return s.nvm.Write(mem.WData, ln.Tag, s.cfg.LineSize, s.maxNow())
+		},
+		OnLLCFill: func(ln *cache.Line) {
+			// Epoch tags live in the LLC only: a line refetched from DRAM
+			// has lost its tag and will be re-logged on its next store.
+			ln.OID = 0
+		},
+	})
+	return s
+}
+
+// Access implements trace.Scheme.
+func (s *PiCL) Access(tid int, addr uint64, write bool, data uint64) uint64 {
+	if !write {
+		return s.h.Load(tid, addr)
+	}
+	lat := s.h.Store(tid, addr)
+	if ln := s.h.L1(tid).Peek(s.cfg.LineAddr(addr)); ln != nil {
+		ln.Data = data
+	}
+	s.bumpStore(func(closing uint64) { s.ackWalk(closing) })
+	return lat
+}
+
+// ackWalk is PiCL's epoch-boundary tag walk over the LLC: upper-level dirty
+// lines of the closing epoch are first folded into the LLC, then every LLC
+// dirty line tagged <= closing is written home in the background and marked
+// clean. When the walker is disabled (ablation), dirty lines persist only
+// through natural evictions.
+func (s *PiCL) ackWalk(closing uint64) {
+	if !s.cfg.TagWalker {
+		return
+	}
+	lines := s.h.DirtyLines(closing)
+	now := s.maxNow()
+	for _, ln := range lines {
+		now += s.nvm.Write(mem.WData, ln.Tag, s.cfg.LineSize, now)
+	}
+	s.markClean(lines)
+	s.evWalk += uint64(len(lines))
+	s.stat.Add("acs_writebacks", int64(len(lines)))
+	s.stat.Inc("acs_walks")
+}
+
+// Drain implements trace.Scheme.
+func (s *PiCL) Drain(now uint64) {
+	s.flushDirtyAsync(s.epoch, 0, mem.WData)
+}
+
+var _ trace.Scheme = (*PiCL)(nil)
+
+// PiCLL2 is the paper's hypothetical PiCL variant that tracks epochs at
+// the per-VD L2 instead of a monolithic inclusive LLC (§VI-B "PiCL-L2"):
+// large multicores with non-inclusive LLCs cannot host PiCL's tag walker,
+// so logging and walking move to the (much smaller) L2s. The smaller
+// on-chip tracked set causes both extra data write-backs and extra log
+// entries — lines evicted from an L2 lose their epoch tag and are
+// re-logged when refetched and stored to again.
+type PiCLL2 struct {
+	*base
+}
+
+// NewPiCLL2 builds the scheme.
+func NewPiCLL2(cfg *sim.Config) *PiCLL2 {
+	s := &PiCLL2{base: newBase("PiCL-L2", cfg)}
+	s.h = coherence.New(cfg, s.dram, coherence.Callbacks{
+		OnStore: func(tid, vd int, ln *cache.Line) uint64 {
+			var extra uint64
+			if ln.OID < s.epoch {
+				s.evLog++
+				s.stat.Inc("log_entries")
+				extra = s.nvm.Write(mem.WLog, s.nextLog(), 72, s.now(tid))
+			}
+			ln.OID = s.epoch
+			return extra
+		},
+		OnL2WriteBack: func(vd int, ln cache.Line, reason coherence.Reason) uint64 {
+			// Dirty data leaving an L2 writes its NVM home (the L2 is the
+			// last tracked level).
+			if reason == coherence.ReasonCoherence {
+				s.evCoherence++
+			} else {
+				s.evCapacity++
+			}
+			s.stat.Inc("home_writes")
+			return s.nvm.Write(mem.WData, ln.Tag, s.cfg.LineSize, s.maxNow())
+		},
+		OnL2Fill: func(vd int, ln *cache.Line) {
+			// Tags are tracked at the L2 only: fills from below lose them.
+			ln.OID = 0
+		},
+	})
+	return s
+}
+
+// Access implements trace.Scheme.
+func (s *PiCLL2) Access(tid int, addr uint64, write bool, data uint64) uint64 {
+	if !write {
+		return s.h.Load(tid, addr)
+	}
+	lat := s.h.Store(tid, addr)
+	if ln := s.h.L1(tid).Peek(s.cfg.LineAddr(addr)); ln != nil {
+		ln.Data = data
+	}
+	s.bumpStore(func(closing uint64) { s.ackWalk(closing) })
+	return lat
+}
+
+// ackWalk walks every VD's L1+L2 at the boundary, writing dirty lines of
+// the closing epoch home in the background.
+func (s *PiCLL2) ackWalk(closing uint64) {
+	if !s.cfg.TagWalker {
+		return
+	}
+	now := s.maxNow()
+	var count int64
+	var lines []cache.Line
+	collect := func(c *cache.Cache) {
+		c.ForEach(func(ln *cache.Line) {
+			if ln.Dirty && ln.OID <= closing {
+				lines = append(lines, *ln)
+			}
+		})
+	}
+	for tid := 0; tid < s.cfg.Cores; tid++ {
+		collect(s.h.L1(tid))
+	}
+	for vd := 0; vd < s.cfg.VDs(); vd++ {
+		collect(s.h.L2(vd))
+	}
+	seen := map[uint64]bool{}
+	var uniq []cache.Line
+	for _, ln := range lines {
+		if !seen[ln.Tag] {
+			seen[ln.Tag] = true
+			uniq = append(uniq, ln)
+			now += s.nvm.Write(mem.WData, ln.Tag, s.cfg.LineSize, now)
+			count++
+		}
+	}
+	s.markClean(uniq)
+	s.evWalk += uint64(count)
+	s.stat.Add("acs_writebacks", count)
+	s.stat.Inc("acs_walks")
+}
+
+// Drain implements trace.Scheme.
+func (s *PiCLL2) Drain(now uint64) {
+	s.flushDirtyAsync(s.epoch, 0, mem.WData)
+}
+
+var _ trace.Scheme = (*PiCLL2)(nil)

@@ -1,0 +1,32 @@
+package cache
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New("b", 32<<10, 8, 64)
+	for i := 0; i < 64; i++ {
+		ln, _, _ := c.Insert(uint64(i * 64))
+		ln.State = Shared
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64((i % 64) * 64))
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New("b", 32<<10, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i) * 64)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := New("b", 32<<10, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ln, _, _ := c.Insert(uint64(i) * 64)
+		ln.State = Modified
+	}
+}

@@ -1,0 +1,261 @@
+// Package cache implements the set-associative cache arrays used for the
+// simulated L1s, L2s and LLC slices. Lines carry MESI state, a dirty bit and
+// the 16-bit OID (version) tag that NVOverlay adds to every cache tag in the
+// hierarchy. Replacement is true LRU.
+package cache
+
+import "fmt"
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states. Invalid lines are also recognised by Line.Valid == false.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("?%d", uint8(s))
+	}
+}
+
+// Writable reports whether a line in this state may be stored to without a
+// coherence transaction.
+func (s State) Writable() bool { return s == Exclusive || s == Modified }
+
+// Line is one cache slot. OID is the epoch in which the line's data was last
+// written (the paper's 16-bit version tag; we hold it in a uint64 and let the
+// epoch package narrow it when the wrap-around mode is exercised). Data is a
+// compact stand-in for the line's 64-byte payload: workloads write opaque
+// tokens into it, which lets recovery tests verify snapshot contents
+// end-to-end without simulating full cache-line data.
+type Line struct {
+	Valid bool
+	Tag   uint64 // full line address (line-aligned)
+	State State
+	Dirty bool
+	OID   uint64
+	Data  uint64
+	lru   uint64
+}
+
+// Cache is one set-associative array.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineSize int
+	stride   int    // set-index divisor for address-interleaved slices
+	lines    []Line // sets*ways, row-major by set
+	tick     uint64
+
+	// Stats.
+	Hits, Misses, Evictions uint64
+}
+
+// New builds a cache of the given total size. size must be divisible by
+// ways*lineSize and the resulting set count must be a power of two.
+func New(name string, size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d line=%d", name, size, ways, lineSize))
+	}
+	sets := size / (ways * lineSize)
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lineSize: lineSize,
+		stride:   1,
+		lines:    make([]Line, sets*ways),
+	}
+}
+
+// NewStrided builds a cache slice of an address-interleaved array: lines
+// are distributed over `stride` slices by low line bits, so this slice's
+// set index skips those bits (real multi-slice LLCs do the same; without
+// it, half the sets would alias with the slice selector and thrash).
+func NewStrided(name string, size, ways, lineSize, stride int) *Cache {
+	c := New(name, size, ways, lineSize)
+	if stride < 1 {
+		stride = 1
+	}
+	c.stride = stride
+	return c
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the number of line slots.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+func (c *Cache) setOf(addr uint64) int {
+	return int((addr / uint64(c.lineSize) / uint64(c.stride)) % uint64(c.sets))
+}
+
+// Lookup returns the line holding addr, or nil on miss. A hit refreshes LRU
+// and increments the hit counter; a miss increments the miss counter.
+func (c *Cache) Lookup(addr uint64) *Line {
+	set := c.setOf(addr)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.Valid && ln.Tag == addr {
+			c.tick++
+			ln.lru = c.tick
+			c.Hits++
+			return ln
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek returns the line holding addr without touching LRU or counters.
+func (c *Cache) Peek(addr uint64) *Line {
+	set := c.setOf(addr)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.Valid && ln.Tag == addr {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Insert places addr into the cache and returns the pointer to its line plus
+// the evicted victim (by value) when an occupied slot had to be reclaimed.
+// The caller is responsible for handling the victim (write-back, directory
+// update) before using the new line. If addr is already resident its line is
+// reused in place and no victim is produced.
+func (c *Cache) Insert(addr uint64) (ln *Line, victim Line, evicted bool) {
+	if existing := c.Peek(addr); existing != nil {
+		c.tick++
+		existing.lru = c.tick
+		return existing, Line{}, false
+	}
+	set := c.setOf(addr)
+	base := set * c.ways
+	slot := -1
+	for i := 0; i < c.ways; i++ {
+		if !c.lines[base+i].Valid {
+			slot = base + i
+			break
+		}
+	}
+	if slot == -1 {
+		// Evict true-LRU way.
+		oldest := base
+		for i := 1; i < c.ways; i++ {
+			if c.lines[base+i].lru < c.lines[oldest].lru {
+				oldest = base + i
+			}
+		}
+		slot = oldest
+		victim = c.lines[slot]
+		evicted = true
+		c.Evictions++
+	}
+	c.tick++
+	c.lines[slot] = Line{Valid: true, Tag: addr, State: Invalid, lru: c.tick}
+	return &c.lines[slot], victim, evicted
+}
+
+// Invalidate removes addr from the cache, returning the removed line by
+// value so the caller can inspect its dirty state, and whether it was found.
+func (c *Cache) Invalidate(addr uint64) (Line, bool) {
+	set := c.setOf(addr)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.Valid && ln.Tag == addr {
+			removed := *ln
+			*ln = Line{}
+			return removed, true
+		}
+	}
+	return Line{}, false
+}
+
+// ForEach invokes fn on every valid line. fn may mutate the line (the tag
+// walker uses this to downgrade M lines after persisting them) but must not
+// invalidate it; use CollectValid + Invalidate for removal.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// CollectValid returns copies of all valid lines; useful for walks that will
+// mutate the cache while iterating.
+func (c *Cache) CollectValid() []Line {
+	out := make([]Line, 0, 64)
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			out = append(out, c.lines[i])
+		}
+	}
+	return out
+}
+
+// CountValid returns the number of valid lines.
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CountDirty returns the number of valid dirty lines.
+func (c *Cache) CountDirty() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid && c.lines[i].Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line and returns the dirty ones (by value) so the
+// caller can write them back. Used by epoch wrap-around resets and by
+// end-of-run drains.
+func (c *Cache) Flush() []Line {
+	var dirty []Line
+	for i := range c.lines {
+		if c.lines[i].Valid && c.lines[i].Dirty {
+			dirty = append(dirty, c.lines[i])
+		}
+		c.lines[i] = Line{}
+	}
+	return dirty
+}

@@ -1,0 +1,116 @@
+// Package core assembles NVOverlay, the paper's primary contribution: the
+// Coherent Snapshot Tracking frontend (internal/cst) in front of the
+// Multi-snapshot NVM Mapping backend (internal/omc), packaged behind the
+// common Scheme interface so the experiment harness can compare it against
+// the baselines under identical workloads.
+package core
+
+import (
+	"repro/internal/cst"
+	"repro/internal/mem"
+	"repro/internal/omc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// NVOverlay is the full design: version-tagged hierarchy, distributed
+// epochs, tag walkers, and one OMC per memory-controller partition.
+type NVOverlay struct {
+	cfg    *sim.Config
+	nvm    *mem.NVM
+	dram   *mem.DRAM
+	group  *omc.Group
+	fe     *cst.Frontend
+	clocks *sim.Clocks
+}
+
+// Option configures the NVOverlay assembly.
+type Option func(*options)
+
+type options struct {
+	omcs      int
+	retention bool
+}
+
+// WithOMCs sets the number of OMC address partitions (default 4, matching
+// the paper's four memory controllers).
+func WithOMCs(n int) Option { return func(o *options) { o.omcs = n } }
+
+// WithRetention keeps merged epoch tables for time-travel reads (the
+// debugging usage model).
+func WithRetention() Option { return func(o *options) { o.retention = true } }
+
+// New assembles NVOverlay from the machine configuration. cfg.TagWalker and
+// cfg.OMCBuffer select the §IV-C walker and §IV-E buffer.
+func New(cfg *sim.Config, opts ...Option) *NVOverlay {
+	o := options{omcs: 4}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	nvm := mem.NewNVM(cfg)
+	dram := mem.NewDRAM(cfg)
+	var gopts []omc.Option
+	if cfg.OMCBuffer {
+		gopts = append(gopts, omc.WithBuffer(cfg.OMCBufferSize))
+	}
+	if o.retention {
+		gopts = append(gopts, omc.WithRetention())
+	}
+	group := omc.NewGroup(cfg, nvm, o.omcs, gopts...)
+	return &NVOverlay{
+		cfg:   cfg,
+		nvm:   nvm,
+		dram:  dram,
+		group: group,
+		fe:    cst.New(cfg, dram, group),
+	}
+}
+
+// Name implements trace.Scheme.
+func (n *NVOverlay) Name() string { return "NVOverlay" }
+
+// Bind implements trace.Scheme.
+func (n *NVOverlay) Bind(clocks *sim.Clocks) { n.clocks = clocks }
+
+// Access implements trace.Scheme: the access runs through the versioned
+// hierarchy; epoch advances stall the whole versioned domain.
+func (n *NVOverlay) Access(tid int, addr uint64, write bool, data uint64) uint64 {
+	now := n.clocks.Now(tid)
+	res := n.fe.Access(tid, addr, write, data, now)
+	if res.VDStall > 0 {
+		vd := n.cfg.VDOf(tid)
+		n.clocks.StallGroup(vd*n.cfg.CoresPerVD, (vd+1)*n.cfg.CoresPerVD, res.VDStall)
+	}
+	return res.Lat
+}
+
+// Drain implements trace.Scheme: the hierarchy flushes its versions and the
+// OMCs merge every remaining epoch.
+func (n *NVOverlay) Drain(now uint64) {
+	n.fe.Drain(now)
+	n.group.Seal(now)
+}
+
+// Stats implements trace.Scheme, merging frontend and backend counters.
+func (n *NVOverlay) Stats() *stats.Set {
+	s := stats.NewSet("nvoverlay")
+	s.Merge(n.fe.Stats())
+	s.Merge(n.group.Stats())
+	s.Merge(n.nvm.Stats())
+	return s
+}
+
+// NVM implements trace.Scheme.
+func (n *NVOverlay) NVM() *mem.NVM { return n.nvm }
+
+// Group exposes the MNM backend (recovery, time travel, Fig 13/16 stats).
+func (n *NVOverlay) Group() *omc.Group { return n.group }
+
+// Frontend exposes the CST frontend (Fig 15 evict decomposition).
+func (n *NVOverlay) Frontend() *cst.Frontend { return n.fe }
+
+// DRAM exposes the working-memory model.
+func (n *NVOverlay) DRAM() *mem.DRAM { return n.dram }
+
+var _ trace.Scheme = (*NVOverlay)(nil)

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func coreCfg() *sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.EpochSize = 4000
+	return &cfg
+}
+
+func TestNVOverlayImplementsScheme(t *testing.T) {
+	cfg := coreCfg()
+	var s trace.Scheme = New(cfg)
+	if s.Name() != "NVOverlay" {
+		t.Fatal("name")
+	}
+	if s.NVM() == nil || s.Stats() == nil {
+		t.Fatal("accessors nil")
+	}
+}
+
+func TestNVOverlayOptions(t *testing.T) {
+	cfg := coreCfg()
+	cfg.OMCBuffer = true
+	n := New(cfg, WithOMCs(2), WithRetention())
+	if n.Group().Size() != 2 {
+		t.Fatalf("OMCs = %d", n.Group().Size())
+	}
+	if n.Group().OMC(0).Buffer() == nil {
+		t.Fatal("buffer not enabled")
+	}
+	if n.Frontend() == nil || n.DRAM() == nil {
+		t.Fatal("accessors nil")
+	}
+}
+
+func TestNVOverlayEndToEndWorkload(t *testing.T) {
+	cfg := coreCfg()
+	n := New(cfg, WithOMCs(2))
+	wl, err := workload.Get("hashtable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := trace.NewDriver(cfg, n, wl, 60_000)
+	sum := d.Run()
+	// The driver finishes the in-flight operation, so it may slightly
+	// overshoot the access budget.
+	if sum.Accesses < 60_000 || sum.Accesses > 61_000 {
+		t.Fatalf("accesses = %d", sum.Accesses)
+	}
+	if sum.DataBytes == 0 {
+		t.Fatal("no snapshot data persisted")
+	}
+	if sum.MetaBytes == 0 {
+		t.Fatal("no master-table metadata persisted")
+	}
+	// After the drain the recovered image equals the final write state.
+	img, _ := n.Group().RecoverImage()
+	if len(img) != len(sum.Final) {
+		t.Fatalf("image %d lines, final %d", len(img), len(sum.Final))
+	}
+	for addr, want := range sum.Final {
+		if img[addr] != want {
+			t.Fatalf("addr %#x = %d, want %d", addr, img[addr], want)
+		}
+	}
+	// Mid-run epochs advanced and merged.
+	if n.Stats().Get("epoch_advances") == 0 {
+		t.Fatal("no epoch advances")
+	}
+	if n.Stats().Get("epochs_merged") == 0 {
+		t.Fatal("no merges")
+	}
+}
+
+func TestNVOverlayVDStallOnAdvance(t *testing.T) {
+	cfg := coreCfg()
+	cfg.EpochSize = 4 // per-VD threshold of 4 stores
+	n := New(cfg)
+	clocks := sim.NewClocks(cfg.Cores)
+	n.Bind(clocks)
+	for i := 0; i < 4; i++ {
+		lat := n.Access(0, uint64(i*64), true, uint64(i))
+		clocks.Advance(0, lat)
+	}
+	// The boundary stalled the whole VD: the sibling core's clock moved
+	// even though it never issued an access.
+	if clocks.Now(1) == 0 {
+		t.Fatal("sibling core not stalled by the VD epoch advance")
+	}
+	if clocks.Now(2) != 0 {
+		t.Fatal("foreign VD stalled")
+	}
+}

@@ -1,0 +1,34 @@
+package cst
+
+import "testing"
+
+func BenchmarkL1StoreHit(b *testing.B) {
+	cfg := cstCfg()
+	f, _, _ := newFE(cfg)
+	f.Access(0, 0x40, true, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Access(0, 0x40, true, uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkStoreEvictionPath(b *testing.B) {
+	cfg := cstCfg()
+	cfg.EpochSize = 1 // every store closes an epoch -> store-evictions
+	cfg.TagWalker = false
+	f, _, _ := newFE(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Access(0, 0x40, true, uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkCrossVDSharing(b *testing.B) {
+	cfg := cstCfg()
+	f, _, _ := newFE(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := (i % 2) * 2 // alternate VDs writing one line
+		f.Access(tid, 0x80, true, uint64(i), uint64(i))
+	}
+}

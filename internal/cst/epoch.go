@@ -1,0 +1,84 @@
+// Package cst implements NVOverlay's Coherent Snapshot Tracking frontend
+// (paper §IV): the version-tagged L1/L2 hierarchy with its version access
+// protocol (store-eviction, multi-version residency), coherence-driven
+// Lamport-clock epoch synchronisation across versioned domains, the per-VD
+// L2 tag walker that feeds the recoverable-epoch protocol, and the 16-bit
+// epoch wrap-around scheme.
+package cst
+
+import "fmt"
+
+// WrapSpace implements the paper's second wrap-around solution (§IV-D): the
+// fixed-width epoch space is partitioned into two equally sized groups, L
+// (lower half) and U (upper half), and a persistent epoch-sense bit records
+// which group is logically ahead. Inter-VD skew must stay below half the
+// space, which the frontend enforces by bounding skew to EpochSize-driven
+// advances.
+type WrapSpace struct {
+	width uint
+	// senseUAhead is the epoch-sense bit: when true, wire values in U are
+	// logically ahead of values in L; when false, L is ahead of U.
+	senseUAhead bool
+	flips       int
+}
+
+// NewWrapSpace creates a space of 2^width epochs. width must be in [4,16]
+// (the paper uses 16).
+func NewWrapSpace(width uint) *WrapSpace {
+	if width < 4 || width > 16 {
+		panic(fmt.Sprintf("cst: wrap width %d out of range [4,16]", width))
+	}
+	// At reset, epochs start in L and L is the "ahead" (current) group.
+	return &WrapSpace{width: width, senseUAhead: false}
+}
+
+// Size returns the number of representable wire epochs.
+func (w *WrapSpace) Size() uint64 { return 1 << w.width }
+
+// Half returns the group size.
+func (w *WrapSpace) Half() uint64 { return 1 << (w.width - 1) }
+
+// Wire maps a monotonically increasing logical epoch onto the wire space.
+func (w *WrapSpace) Wire(logical uint64) uint64 { return logical & (w.Size() - 1) }
+
+// GroupU reports whether a wire value belongs to the upper group.
+func (w *WrapSpace) GroupU(wire uint64) bool { return wire >= w.Half() }
+
+// Less compares two wire epochs under the current sense bit. Within a group
+// ordering is numeric; across groups the sense bit decides.
+func (w *WrapSpace) Less(a, b uint64) bool {
+	ga, gb := w.GroupU(a), w.GroupU(b)
+	if ga == gb {
+		return a < b
+	}
+	if w.senseUAhead {
+		// U is ahead: anything in L is older.
+		return !ga
+	}
+	return ga
+}
+
+// Sense returns the persistent epoch-sense bit.
+func (w *WrapSpace) Sense() bool { return w.senseUAhead }
+
+// Flips returns how many times the sense bit has toggled.
+func (w *WrapSpace) Flips() int { return w.flips }
+
+// OnGroupTransition is invoked when a VD first advances its local epoch
+// from the currently-ahead group into the other group. The system must
+// guarantee that no cache lines remain tagged with epochs of that "new"
+// group (the frontend flushes residual tags) before the sense bit flips,
+// recycling the vacated group's numbers ahead of the current group.
+func (w *WrapSpace) OnGroupTransition(newWire uint64) {
+	enteringU := w.GroupU(newWire)
+	if enteringU != w.senseUAhead {
+		w.senseUAhead = enteringU
+		w.flips++
+	}
+}
+
+// CrossesGroup reports whether advancing from wire epoch a to b crosses the
+// group boundary (requiring the flush-and-flip protocol above).
+func (w *WrapSpace) CrossesGroup(a, b uint64) bool {
+	return w.GroupU(a) != w.GroupU(b)
+}

@@ -1,0 +1,113 @@
+package cst
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapSpaceBasics(t *testing.T) {
+	w := NewWrapSpace(8)
+	if w.Size() != 256 || w.Half() != 128 {
+		t.Fatalf("size=%d half=%d", w.Size(), w.Half())
+	}
+	if w.Wire(300) != 44 {
+		t.Fatalf("wire(300) = %d", w.Wire(300))
+	}
+	if w.GroupU(10) || !w.GroupU(200) {
+		t.Fatal("group classification wrong")
+	}
+	if w.Sense() {
+		t.Fatal("initial sense must be L-ahead")
+	}
+}
+
+func TestWrapSpaceWidthBounds(t *testing.T) {
+	for _, width := range []uint{3, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d accepted", width)
+				}
+			}()
+			NewWrapSpace(width)
+		}()
+	}
+	NewWrapSpace(4)
+	NewWrapSpace(16)
+}
+
+func TestWrapSpaceSameGroupOrdering(t *testing.T) {
+	w := NewWrapSpace(8)
+	if !w.Less(3, 7) || w.Less(7, 3) {
+		t.Fatal("numeric ordering within L broken")
+	}
+	if !w.Less(200, 210) || w.Less(210, 200) {
+		t.Fatal("numeric ordering within U broken")
+	}
+}
+
+func TestWrapSpaceCrossGroupWithSense(t *testing.T) {
+	w := NewWrapSpace(8)
+	// Initially L is ahead (fresh epochs live in L): U values are older.
+	if !w.Less(200, 3) {
+		t.Fatal("with L ahead, U values must be older")
+	}
+	// A VD advances into U: sense flips, U becomes ahead.
+	w.OnGroupTransition(130)
+	if !w.Sense() || w.Flips() != 1 {
+		t.Fatalf("sense=%v flips=%d", w.Sense(), w.Flips())
+	}
+	if !w.Less(3, 130) {
+		t.Fatal("with U ahead, L values must be older")
+	}
+	// Transitioning back to L flips again.
+	w.OnGroupTransition(2)
+	if w.Sense() || w.Flips() != 2 {
+		t.Fatalf("sense=%v flips=%d", w.Sense(), w.Flips())
+	}
+	// Re-entering the same group is a no-op.
+	w.OnGroupTransition(5)
+	if w.Flips() != 2 {
+		t.Fatal("same-group transition flipped sense")
+	}
+}
+
+func TestWrapSpaceCrossesGroup(t *testing.T) {
+	w := NewWrapSpace(8)
+	if w.CrossesGroup(10, 20) || !w.CrossesGroup(120, 130) {
+		t.Fatal("CrossesGroup wrong")
+	}
+}
+
+// Property: as long as the live epoch window is narrower than half the
+// space, wire-level Less (with transitions applied in logical order) agrees
+// with logical ordering.
+func TestWrapSpaceMatchesLogicalOrder(t *testing.T) {
+	f := func(start uint16, steps uint8) bool {
+		w := NewWrapSpace(8)
+		base := uint64(start)
+		// Apply transitions as the logical clock sweeps forward.
+		for e := uint64(0); e <= base; e += w.Half() / 2 {
+			w.OnGroupTransition(w.Wire(e))
+		}
+		w.OnGroupTransition(w.Wire(base))
+		window := uint64(steps)%(w.Half()-1) + 1
+		for d := uint64(1); d <= window; d++ {
+			a, b := base, base+d
+			// Advance sense as b enters new groups.
+			if w.CrossesGroup(w.Wire(a), w.Wire(b)) {
+				w.OnGroupTransition(w.Wire(b))
+			}
+			if !w.Less(w.Wire(a), w.Wire(b)) {
+				return false
+			}
+			if w.Less(w.Wire(b), w.Wire(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package ds
+
+import "repro/internal/trace"
+
+// ART node kinds, sized like the original adaptive radix tree (Leis et
+// al., ICDE'13): Node4 and Node16 hold sorted key arrays, Node48 an
+// indirection byte-index, Node256 a direct child array. Allocation sizes
+// below match the paper's layouts so growth produces realistic copy
+// traffic (the ART workload is the paper's NVM-bandwidth-bound outlier).
+const (
+	artNode4 = iota
+	artNode16
+	artNode48
+	artNode256
+)
+
+var artSizes = [4]int{56, 160, 656, 2064}
+var artCaps = [4]int{4, 16, 48, 256}
+
+type artNode struct {
+	addr     uint64
+	kind     int
+	children map[byte]*artNode
+	// leaf payload
+	isLeaf bool
+	key    uint64
+	val    uint64
+}
+
+// ART is an adaptive radix tree over 8-byte big-endian keys (no path
+// compression; every level consumes one key byte, as in a radix trie with
+// adaptive node sizing).
+type ART struct {
+	sharedHeap
+	root *artNode
+	size int
+
+	// Grows counts node-type promotions (4->16->48->256).
+	Grows int
+}
+
+// NewART creates an empty tree.
+func NewART(h *trace.Heap) *ART {
+	t := &ART{sharedHeap: sharedHeap{h}}
+	t.root = t.newNode(artNode4)
+	return t
+}
+
+func (t *ART) newNode(kind int) *artNode {
+	return &artNode{
+		addr:     t.h.Alloc(artSizes[kind]),
+		kind:     kind,
+		children: make(map[byte]*artNode),
+	}
+}
+
+func (t *ART) newLeaf(key, val uint64) *artNode {
+	return &artNode{addr: t.h.Alloc(24), isLeaf: true, key: key, val: val}
+}
+
+func keyByte(key uint64, depth int) byte {
+	return byte(key >> (56 - 8*depth))
+}
+
+// findChild emits the loads of a child lookup for the node's kind: Node4
+// and Node16 scan their key arrays (one line), Node48 reads the 256-byte
+// child index first, Node256 reads the slot directly.
+func (t *ART) findChild(n *artNode, b byte) *artNode {
+	t.h.Load(n.addr) // header
+	switch n.kind {
+	case artNode4, artNode16:
+		t.h.Load(n.addr + 16) // key array
+	case artNode48:
+		t.h.Load(n.addr + 16 + uint64(b))
+	}
+	child := n.children[b]
+	if child != nil {
+		t.h.Load(n.addr + 32 + uint64(b%32)*8) // pointer slot
+	}
+	return child
+}
+
+// grow promotes a full node to the next kind, copying its contents (the
+// load/store burst of an ART node growth).
+func (t *ART) grow(n *artNode) *artNode {
+	if len(n.children) < artCaps[n.kind] || n.kind == artNode256 {
+		return n
+	}
+	t.Grows++
+	bigger := t.newNode(n.kind + 1)
+	bigger.children = n.children
+	t.h.LoadRange(n.addr, artSizes[n.kind])
+	t.h.StoreRange(bigger.addr, artSizes[n.kind+1])
+	return bigger
+}
+
+// Insert adds or updates a key.
+func (t *ART) Insert(key, val uint64) {
+	t.root = t.insert(t.root, key, val, 0)
+}
+
+// insert descends recursively and returns the (possibly replaced, after a
+// growth) node occupying this position.
+func (t *ART) insert(n *artNode, key, val uint64, depth int) *artNode {
+	b := keyByte(key, depth)
+	child := t.findChild(n, b)
+	if child == nil {
+		leaf := t.newLeaf(key, val)
+		t.h.Store(leaf.addr)
+		n = t.grow(n)
+		n.children[b] = leaf
+		t.h.Store(n.addr + 32 + uint64(b%32)*8)
+		t.h.Store(n.addr)
+		t.size++
+		return n
+	}
+	if child.isLeaf {
+		t.h.Load(child.addr)
+		if child.key == key {
+			t.h.Store(child.addr + 16)
+			child.val = val
+			return n
+		}
+		n.children[b] = t.splitLeaf(child, key, val, depth+1)
+		t.h.Store(n.addr + 32 + uint64(b%32)*8)
+		t.size++
+		return n
+	}
+	n.children[b] = t.insert(child, key, val, depth+1)
+	return n
+}
+
+// splitLeaf replaces a leaf with the chain of Node4s covering the common
+// key-byte prefix of the old and new keys, ending at the first byte where
+// they diverge.
+func (t *ART) splitLeaf(old *artNode, key, val uint64, depth int) *artNode {
+	top := t.newNode(artNode4)
+	t.h.StoreRange(top.addr, artSizes[artNode4])
+	node := top
+	d := depth
+	for d < 7 && keyByte(old.key, d) == keyByte(key, d) {
+		next := t.newNode(artNode4)
+		t.h.StoreRange(next.addr, artSizes[artNode4])
+		node.children[keyByte(key, d)] = next
+		t.h.Store(node.addr + 32)
+		node = next
+		d++
+	}
+	node.children[keyByte(old.key, d)] = old
+	leaf := t.newLeaf(key, val)
+	t.h.Store(leaf.addr)
+	node.children[keyByte(key, d)] = leaf
+	t.h.Store(node.addr + 32)
+	return top
+}
+
+// Get looks a key up.
+func (t *ART) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for depth := 0; ; depth++ {
+		if n == nil {
+			return 0, false
+		}
+		if n.isLeaf {
+			t.h.Load(n.addr)
+			if n.key == key {
+				return n.val, true
+			}
+			return 0, false
+		}
+		n = t.findChild(n, keyByte(key, depth))
+	}
+}
+
+// Len returns the number of keys.
+func (t *ART) Len() int { return t.size }

@@ -1,0 +1,241 @@
+package ds
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// btFanout is the maximum number of keys per node. With 8-byte keys and
+// values the node spans ~1 KB — 16 cache lines — so inserting into the
+// middle of a leaf shifts a run of lines, which is exactly the bursty
+// write pattern the paper calls out for the B+Tree workload ("shifting
+// existing elements after locating a B+Tree leaf node").
+const btFanout = 64
+
+type btNode struct {
+	addr     uint64
+	leaf     bool
+	keys     []uint64
+	vals     []uint64  // leaves only
+	children []*btNode // inner nodes only
+}
+
+// nodeBytes is the allocation size of one node: header + key array +
+// value/child array.
+const btNodeBytes = 16 + btFanout*8 + (btFanout+1)*8
+
+func (n *btNode) keyAddr(i int) uint64 { return n.addr + 16 + uint64(i*8) }
+func (n *btNode) valAddr(i int) uint64 { return n.addr + 16 + btFanout*8 + uint64(i*8) }
+
+// BTree is a B+Tree with sorted leaf arrays and in-node binary search,
+// modelled on the BTreeOLC index used in the paper's evaluation.
+type BTree struct {
+	sharedHeap
+	root *btNode
+	size int
+
+	// Splits counts node splits.
+	Splits int
+}
+
+// NewBTree creates an empty tree.
+func NewBTree(h *trace.Heap) *BTree {
+	t := &BTree{sharedHeap: sharedHeap{h}}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *BTree) newNode(leaf bool) *btNode {
+	n := &btNode{addr: t.h.Alloc(btNodeBytes), leaf: leaf}
+	if leaf {
+		n.vals = make([]uint64, 0, btFanout)
+	} else {
+		n.children = make([]*btNode, 0, btFanout+1)
+	}
+	n.keys = make([]uint64, 0, btFanout)
+	return n
+}
+
+// search emits the loads of an in-node binary search: the header line plus
+// the key lines the probe sequence touches.
+func (t *BTree) search(n *btNode, key uint64) int {
+	t.h.Load(n.addr) // header: count, type
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.h.Load(n.keyAddr(mid))
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds or updates a key.
+func (t *BTree) Insert(key, val uint64) {
+	if len(t.root.keys) == btFanout {
+		// Split the root: the tree grows one level.
+		old := t.root
+		t.root = t.newNode(false)
+		t.root.children = append(t.root.children, old)
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, val)
+}
+
+func (t *BTree) insertNonFull(n *btNode, key, val uint64) {
+	for !n.leaf {
+		i := t.search(n, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++ // separator equal to key: right child holds it
+		}
+		child := n.children[i]
+		t.h.Load(n.valAddr(i)) // child pointer
+		if len(child.keys) == btFanout {
+			t.splitChild(n, i)
+			// Equal keys route right, consistently with search()'s i++.
+			if key >= n.keys[i] {
+				i++
+			}
+			child = n.children[i]
+		}
+		n = child
+	}
+	i := t.search(n, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		t.h.Store(n.valAddr(i))
+		n.vals[i] = val
+		return
+	}
+	// Shift the tail right: a memmove reads every moved element and writes
+	// it one slot over (the write burst the paper highlights; the loads are
+	// what pull leaf lines dirtied by other VDs through coherence).
+	n.keys = append(n.keys, 0)
+	n.vals = append(n.vals, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	n.keys[i] = key
+	n.vals[i] = val
+	for j := len(n.keys) - 1; j > i; j-- {
+		t.h.Load(n.keyAddr(j - 1))
+		t.h.Store(n.keyAddr(j))
+		t.h.Load(n.valAddr(j - 1))
+		t.h.Store(n.valAddr(j))
+	}
+	t.h.Store(n.keyAddr(i))
+	t.h.Store(n.valAddr(i))
+	t.h.Store(n.addr) // count in header
+	t.size++
+}
+
+// splitChild splits the full child at index i of parent p.
+func (t *BTree) splitChild(p *btNode, i int) {
+	t.Splits++
+	child := p.children[i]
+	mid := btFanout / 2
+	right := t.newNode(child.leaf)
+
+	right.keys = append(right.keys, child.keys[mid:]...)
+	if child.leaf {
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+	} else {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+		child.keys = child.keys[:mid]
+	}
+	sep := right.keys[0]
+	if !child.leaf {
+		sep = right.keys[0]
+		right.keys = right.keys[1:]
+	}
+
+	// Copy traffic: the moved half of the child writes into the new node.
+	t.h.LoadRange(child.keyAddr(mid), (btFanout-mid)*8)
+	t.h.StoreRange(right.keyAddr(0), len(right.keys)*8+16)
+	t.h.StoreRange(right.valAddr(0), (btFanout-mid)*8)
+	t.h.Store(child.addr) // shrunk count
+
+	// Parent gains a separator: shift its arrays.
+	p.keys = append(p.keys, 0)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = sep
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+	for j := i; j < len(p.keys); j++ {
+		t.h.Store(p.keyAddr(j))
+		t.h.Store(p.valAddr(j + 1))
+	}
+	t.h.Store(p.addr)
+}
+
+// Get looks a key up.
+func (t *BTree) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		i := t.search(n, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		t.h.Load(n.valAddr(i))
+		n = n.children[i]
+	}
+	i := t.search(n, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		t.h.Load(n.valAddr(i))
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.size }
+
+// Depth returns the tree height (diagnostics).
+func (t *BTree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// Validate checks B+Tree ordering invariants (tests).
+func (t *BTree) Validate() bool {
+	var walk func(n *btNode, lo, hi uint64) bool
+	walk = func(n *btNode, lo, hi uint64) bool {
+		if !sort.SliceIsSorted(n.keys, func(a, b int) bool { return n.keys[a] < n.keys[b] }) {
+			return false
+		}
+		for _, k := range n.keys {
+			if k < lo || k > hi {
+				return false
+			}
+		}
+		if n.leaf {
+			return len(n.keys) == len(n.vals)
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return false
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if !walk(c, clo, chi) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(t.root, 0, ^uint64(0))
+}

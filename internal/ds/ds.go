@@ -1,0 +1,39 @@
+// Package ds implements the four index data structures of the paper's
+// evaluation (§VI-C) — a chained hash table (std::unordered_map-like), a
+// B+Tree (BTreeOLC-like), an adaptive radix tree (ART), and a red-black
+// tree (std::map-like) — as real algorithms over the tracked heap: every
+// logical field access they perform is emitted as a simulated load or
+// store, so the cache/coherence behaviour that differentiates the
+// snapshotting schemes comes from genuine algorithm executions.
+package ds
+
+import "repro/internal/trace"
+
+// KV is the common index interface the workloads drive.
+type KV interface {
+	Insert(key, val uint64)
+	Get(key uint64) (uint64, bool)
+	Len() int
+}
+
+// hash64 is splitmix64's finalizer, a good 64-bit mixer.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+var (
+	_ KV = (*HashTable)(nil)
+	_ KV = (*BTree)(nil)
+	_ KV = (*ART)(nil)
+	_ KV = (*RBTree)(nil)
+)
+
+// sharedHeap is embedded by all structures.
+type sharedHeap struct {
+	h *trace.Heap
+}

@@ -1,0 +1,236 @@
+package ds
+
+import "repro/internal/trace"
+
+// rbNode layout: key, val, left, right, parent, color — 48 bytes, one
+// cache line when allocated 8-byte aligned (matching std::map's
+// _Rb_tree_node on 64-bit platforms).
+type rbNode struct {
+	addr        uint64
+	key, val    uint64
+	left, right *rbNode
+	parent      *rbNode
+	red         bool
+}
+
+// RBTree is a classic red-black tree in the style of std::map: pointer
+// chasing on descent, rotations with parent-pointer maintenance, and
+// recolouring walks on insert.
+type RBTree struct {
+	sharedHeap
+	root *rbNode
+	size int
+
+	// Rotations counts tree rotations.
+	Rotations int
+}
+
+// NewRBTree creates an empty tree.
+func NewRBTree(h *trace.Heap) *RBTree {
+	return &RBTree{sharedHeap: sharedHeap{h}}
+}
+
+func (t *RBTree) newNode(key, val uint64) *rbNode {
+	n := &rbNode{addr: t.h.Alloc(48), key: key, val: val, red: true}
+	t.h.Store(n.addr) // key/val/pointers/colour initialised together
+	return n
+}
+
+// Insert adds or updates a key.
+func (t *RBTree) Insert(key, val uint64) {
+	var parent *rbNode
+	cur := t.root
+	for cur != nil {
+		t.h.Load(cur.addr)
+		parent = cur
+		switch {
+		case key < cur.key:
+			cur = cur.left
+		case key > cur.key:
+			cur = cur.right
+		default:
+			t.h.Store(cur.addr + 8)
+			cur.val = val
+			return
+		}
+	}
+	n := t.newNode(key, val)
+	n.parent = parent
+	if parent == nil {
+		t.root = n
+	} else if key < parent.key {
+		parent.left = n
+		t.h.Store(parent.addr + 16)
+	} else {
+		parent.right = n
+		t.h.Store(parent.addr + 24)
+	}
+	t.size++
+	t.fixInsert(n)
+}
+
+func (t *RBTree) rotateLeft(x *rbNode) {
+	t.Rotations++
+	y := x.right
+	t.h.Load(y.addr)
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+		t.h.Store(y.left.addr + 32)
+	}
+	y.parent = x.parent
+	if x.parent == nil {
+		t.root = y
+	} else if x == x.parent.left {
+		x.parent.left = y
+		t.h.Store(x.parent.addr + 16)
+	} else {
+		x.parent.right = y
+		t.h.Store(x.parent.addr + 24)
+	}
+	y.left = x
+	x.parent = y
+	t.h.Store(x.addr)
+	t.h.Store(y.addr)
+}
+
+func (t *RBTree) rotateRight(x *rbNode) {
+	t.Rotations++
+	y := x.left
+	t.h.Load(y.addr)
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+		t.h.Store(y.right.addr + 32)
+	}
+	y.parent = x.parent
+	if x.parent == nil {
+		t.root = y
+	} else if x == x.parent.right {
+		x.parent.right = y
+		t.h.Store(x.parent.addr + 24)
+	} else {
+		x.parent.left = y
+		t.h.Store(x.parent.addr + 16)
+	}
+	y.right = x
+	x.parent = y
+	t.h.Store(x.addr)
+	t.h.Store(y.addr)
+}
+
+func (t *RBTree) fixInsert(n *rbNode) {
+	for n.parent != nil && n.parent.red {
+		g := n.parent.parent
+		t.h.Load(g.addr)
+		if n.parent == g.left {
+			u := g.right
+			if u != nil && u.red {
+				t.h.Store(n.parent.addr + 40) // recolour
+				t.h.Store(u.addr + 40)
+				t.h.Store(g.addr + 40)
+				n.parent.red = false
+				u.red = false
+				g.red = true
+				n = g
+				continue
+			}
+			if n == n.parent.right {
+				n = n.parent
+				t.rotateLeft(n)
+			}
+			n.parent.red = false
+			g.red = true
+			t.h.Store(n.parent.addr + 40)
+			t.h.Store(g.addr + 40)
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.red {
+				t.h.Store(n.parent.addr + 40)
+				t.h.Store(u.addr + 40)
+				t.h.Store(g.addr + 40)
+				n.parent.red = false
+				u.red = false
+				g.red = true
+				n = g
+				continue
+			}
+			if n == n.parent.left {
+				n = n.parent
+				t.rotateRight(n)
+			}
+			n.parent.red = false
+			g.red = true
+			t.h.Store(n.parent.addr + 40)
+			t.h.Store(g.addr + 40)
+			t.rotateLeft(g)
+		}
+	}
+	if t.root.red {
+		t.root.red = false
+		t.h.Store(t.root.addr + 40)
+	}
+}
+
+// Get looks a key up.
+func (t *RBTree) Get(key uint64) (uint64, bool) {
+	cur := t.root
+	for cur != nil {
+		t.h.Load(cur.addr)
+		switch {
+		case key < cur.key:
+			cur = cur.left
+		case key > cur.key:
+			cur = cur.right
+		default:
+			return cur.val, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of keys.
+func (t *RBTree) Len() int { return t.size }
+
+// Validate checks the red-black invariants: root black, no red-red
+// parent/child, equal black height on every path, and BST ordering.
+func (t *RBTree) Validate() bool {
+	if t.root == nil {
+		return true
+	}
+	if t.root.red {
+		return false
+	}
+	ok := true
+	var walk func(n *rbNode, lo, hi uint64) int
+	walk = func(n *rbNode, lo, hi uint64) int {
+		if n == nil {
+			return 1
+		}
+		if n.key < lo || n.key > hi {
+			ok = false
+		}
+		if n.red && ((n.left != nil && n.left.red) || (n.right != nil && n.right.red)) {
+			ok = false
+		}
+		var lmax, rmin uint64 = n.key, n.key
+		if n.key > 0 {
+			lmax = n.key - 1
+		}
+		if n.key < ^uint64(0) {
+			rmin = n.key + 1
+		}
+		lb := walk(n.left, lo, lmax)
+		rb := walk(n.right, rmin, hi)
+		if lb != rb {
+			ok = false
+		}
+		if n.red {
+			return lb
+		}
+		return lb + 1
+	}
+	walk(t.root, 0, ^uint64(0))
+	return ok
+}

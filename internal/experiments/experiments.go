@@ -1,0 +1,141 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each FigN function runs the required (workload,
+// scheme, configuration) combinations through the driver and reduces the
+// results to the same rows/series the paper plots. cmd/nvbench and the
+// repository's testing.B benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scale selects run sizes. The paper simulates 100M instructions/thread
+// with 1M-store epochs on zsim; these scales keep the same epoch-to-run
+// proportions at simulation-friendly sizes.
+type Scale struct {
+	Name        string
+	MaxAccesses uint64
+	EpochSize   int // stores per epoch
+	// Machine, when non-nil, shrinks the cache hierarchy so the paper's
+	// capacity relationships hold at reduced run length: the per-epoch
+	// write set must exceed an L2 but fit the LLC, exactly as 1M-store
+	// epochs relate to 256KB/32MB on the Table II machine.
+	Machine func(*sim.Config)
+}
+
+// Predefined scales. EpochSize counts machine-global stores; stores are
+// roughly 40% of accesses, so each scale yields a few dozen epochs per
+// run — and, with 8 versioned domains, several boundaries per VD.
+var (
+	// Smoke is for unit tests and quick CI runs.
+	Smoke = Scale{Name: "smoke", MaxAccesses: 150_000, EpochSize: 1_500,
+		Machine: func(c *sim.Config) {
+			c.L1Size = 4 << 10
+			c.L1Ways = 4
+			c.L2Size = 16 << 10
+			c.LLCSize = 2 << 20
+			// Processor context is a fixed hardware cost; at reduced epoch
+			// lengths it must scale too or it dwarfs tiny-epoch runs.
+			c.ContextDumpBytes = 256
+		}}
+	// Quick is the default for cmd/nvbench.
+	Quick = Scale{Name: "quick", MaxAccesses: 1_200_000, EpochSize: 12_000,
+		Machine: func(c *sim.Config) {
+			c.L1Size = 4 << 10
+			c.L1Ways = 4
+			c.L2Size = 16 << 10
+			c.LLCSize = 4 << 20
+			c.ContextDumpBytes = 256
+		}}
+	// Full approaches the paper's proportions on the unmodified Table II
+	// machine (slow).
+	Full = Scale{Name: "full", MaxAccesses: 8_000_000, EpochSize: 80_000}
+)
+
+// SchemeNames lists the comparison schemes in the paper's Fig 11 order.
+var SchemeNames = []string{"SWLog", "SWShadow", "HWShadow", "PiCL", "PiCL-L2", "NVOverlay"}
+
+// NewScheme constructs a scheme by name over the given config.
+func NewScheme(name string, cfg *sim.Config) (trace.Scheme, error) {
+	switch name {
+	case "Ideal":
+		return baseline.NewIdeal(cfg), nil
+	case "SWLog":
+		return baseline.NewSWLog(cfg), nil
+	case "SWShadow":
+		return baseline.NewSWShadow(cfg), nil
+	case "HWShadow":
+		return baseline.NewHWShadow(cfg), nil
+	case "PiCL":
+		return baseline.NewPiCL(cfg), nil
+	case "PiCL-L2":
+		return baseline.NewPiCLL2(cfg), nil
+	case "NVOverlay":
+		return core.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// RunResult bundles a run's summary with the scheme for post-run metric
+// extraction (master-table sizes, evict decompositions, series).
+type RunResult struct {
+	Sum    trace.Summary
+	Scheme trace.Scheme
+}
+
+// Run executes one (scheme, workload) pair at the given scale. cfgMod, if
+// non-nil, adjusts the configuration before the run (sweeps, ablations).
+func Run(schemeName, wlName string, scale Scale, cfgMod func(*sim.Config)) (RunResult, error) {
+	cfg := sim.DefaultConfig()
+	cfg.EpochSize = scale.EpochSize
+	if scale.Machine != nil {
+		scale.Machine(&cfg)
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	s, err := NewScheme(schemeName, &cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	wl, err := workload.Get(wlName)
+	if err != nil {
+		return RunResult{}, err
+	}
+	d := trace.NewDriver(&cfg, s, wl, scale.MaxAccesses)
+	sum := d.Run()
+	return RunResult{Sum: sum, Scheme: s}, nil
+}
+
+// Matrix is a workloads x schemes table of float64 values.
+type Matrix struct {
+	Title     string
+	Workloads []string
+	Schemes   []string
+	Cells     map[string]map[string]float64 // workload -> scheme -> value
+}
+
+func newMatrix(title string, workloads, schemes []string) *Matrix {
+	m := &Matrix{Title: title, Workloads: workloads, Schemes: schemes,
+		Cells: make(map[string]map[string]float64)}
+	for _, w := range workloads {
+		m.Cells[w] = make(map[string]float64)
+	}
+	return m
+}
+
+// Set stores a cell.
+func (m *Matrix) Set(wl, scheme string, v float64) { m.Cells[wl][scheme] = v }
+
+// Get reads a cell.
+func (m *Matrix) Get(wl, scheme string) float64 { return m.Cells[wl][scheme] }

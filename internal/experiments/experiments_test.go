@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The shape assertions below encode the paper's qualitative findings at
+// smoke scale: orderings and rough factors, not absolute numbers.
+
+func TestNewSchemeKnowsAll(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	for _, name := range append([]string{"Ideal"}, SchemeNames...) {
+		s, err := NewScheme(name, &cfg)
+		if err != nil {
+			t.Fatalf("NewScheme(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("scheme %q reports %q", name, s.Name())
+		}
+	}
+	if _, err := NewScheme("bogus", &cfg); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if _, err := Run("bogus", "art", Smoke, nil); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := Run("PiCL", "bogus", Smoke, nil); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+	if _, err := Run("PiCL", "art", Smoke, func(c *sim.Config) { c.Cores = 0 }); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	m, err := Fig11(Smoke, []string{"btree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvo := m.Get("btree", "NVOverlay")
+	picl := m.Get("btree", "PiCL")
+	swlog := m.Get("btree", "SWLog")
+	swsh := m.Get("btree", "SWShadow")
+	hw := m.Get("btree", "HWShadow")
+	// Paper Fig 11 ordering: NVOverlay near 1.0; PiCL small; HW shadow
+	// moderate; software schemes slowest with logging worst.
+	if nvo < 0.95 || nvo > 2.0 {
+		t.Fatalf("NVOverlay = %.2fx, want near 1", nvo)
+	}
+	if !(swlog > swsh && swsh > hw && hw > nvo) {
+		t.Fatalf("ordering violated: swlog=%.2f swsh=%.2f hw=%.2f nvo=%.2f", swlog, swsh, hw, nvo)
+	}
+	if picl < nvo*0.5 {
+		t.Fatalf("PiCL=%.2f implausibly fast vs NVOverlay=%.2f", picl, nvo)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	m, err := Fig12(Smoke, []string{"btree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	picl := m.Get("btree", "PiCL")
+	picl2 := m.Get("btree", "PiCL-L2")
+	// Logging schemes write substantially more than NVOverlay (paper:
+	// 1.4-1.9x for PiCL, more for PiCL-L2).
+	if picl < 1.2 {
+		t.Fatalf("PiCL write amplification = %.2fx, want > 1.2", picl)
+	}
+	if picl2 < picl {
+		t.Fatalf("PiCL-L2 (%.2f) should exceed PiCL (%.2f)", picl2, picl)
+	}
+	if m.Get("btree", "NVOverlay") != 1.0 {
+		t.Fatal("NVOverlay not normalised to 1.0")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, err := Fig13(Smoke, []string{"btree", "yada"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var btree, yada Fig13Row
+	for _, r := range rows {
+		switch r.Workload {
+		case "btree":
+			btree = r
+		case "yada":
+			yada = r
+		}
+	}
+	// The radix-tree lower bound is 12.5%. At smoke scale the table is
+	// inner-node dominated, so only the bound and the ordering are stable;
+	// the paper-scale percentages are verified by the Quick-scale nvbench
+	// runs recorded in EXPERIMENTS.md.
+	if btree.MasterPct < 12.5 {
+		t.Fatalf("btree Mmaster = %.1f%% below the radix lower bound", btree.MasterPct)
+	}
+	if yada.MasterPct <= btree.MasterPct {
+		t.Fatalf("yada (%.1f%%) should exceed btree (%.1f%%)", yada.MasterPct, btree.MasterPct)
+	}
+	if yada.LeafOccupancy >= btree.LeafOccupancy {
+		t.Fatalf("yada occupancy (%.2f) should be below btree (%.2f)",
+			yada.LeafOccupancy, btree.LeafOccupancy)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	pts, err := Fig14(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 { // 4 epoch sizes x 3 schemes
+		t.Fatalf("points = %d", len(pts))
+	}
+	// PiCL's write bytes drop as epochs grow (fewer walks); find its
+	// smallest- and largest-epoch points.
+	var piclSmall, piclBig Fig14Point
+	for _, p := range pts {
+		if p.Scheme != "PiCL" {
+			continue
+		}
+		if piclSmall.EpochSize == 0 || p.EpochSize < piclSmall.EpochSize {
+			piclSmall = p
+		}
+		if p.EpochSize > piclBig.EpochSize {
+			piclBig = p
+		}
+	}
+	// Longer epochs mean fewer walks and fewer first-write log entries:
+	// PiCL's absolute write volume must fall (paper: -11% from 500K to 4M).
+	if piclBig.RawBytes >= piclSmall.RawBytes {
+		t.Fatalf("PiCL bytes did not drop with epoch size: %d -> %d",
+			piclSmall.RawBytes, piclBig.RawBytes)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	rows, err := Fig15(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig15Row{}
+	for _, r := range rows {
+		key := r.Scheme
+		if !r.Walker {
+			key += "-off"
+		}
+		byKey[key] = r
+	}
+	// With the walker on, PiCL depends on it far more than NVOverlay
+	// (paper: >47% vs ~11%).
+	if byKey["PiCL"].WalkPct <= byKey["NVOverlay"].WalkPct {
+		t.Fatalf("PiCL walk share (%.1f%%) should exceed NVOverlay's (%.1f%%)",
+			byKey["PiCL"].WalkPct, byKey["NVOverlay"].WalkPct)
+	}
+	// Without the walker there are no walk write-backs.
+	if byKey["PiCL-off"].WalkPct != 0 || byKey["NVOverlay-off"].WalkPct != 0 {
+		t.Fatal("walk write-backs present with walker disabled")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r, err := Fig16(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The buffer absorbs redundant same-epoch write-backs: fewer NVM
+	// writes, decent hit rate (paper: 74.8% hits, 41% faster).
+	if r.WritesWithBuffer >= r.WritesNoBuffer {
+		t.Fatalf("buffer did not reduce writes: %d vs %d", r.WritesWithBuffer, r.WritesNoBuffer)
+	}
+	if r.BufferHitRate <= 0.2 {
+		t.Fatalf("buffer hit rate = %.2f", r.BufferHitRate)
+	}
+	if r.NormCyclesNoBuffer < 1.0 {
+		t.Fatalf("no-buffer run faster than buffered: %.2f", r.NormCyclesNoBuffer)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	series, err := Fig17(Smoke, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	var picl, nvo Fig17Series
+	for _, s := range series {
+		if s.Scheme == "PiCL" {
+			picl = s
+		} else {
+			nvo = s
+		}
+	}
+	// The paper's robust Fig 17a claims at any scale: NVOverlay's average
+	// bandwidth consumption is significantly lower than PiCL's. (The peak
+	// comparison additionally needs paper-scale epochs whose write sets
+	// dwarf the aggregate L2 — the Quick-scale runs in EXPERIMENTS.md show
+	// it; smoke-scale epochs are too small for it to be structural.)
+	if picl.Series.Total() <= nvo.Series.Total() {
+		t.Fatalf("PiCL total bytes (%d) should exceed NVOverlay (%d)",
+			picl.Series.Total(), nvo.Series.Total())
+	}
+	if nvo.Series.Total()*10 >= picl.Series.Total()*9 {
+		t.Fatalf("NVOverlay mean bandwidth (%d) not clearly below PiCL (%d)",
+			nvo.Series.Total(), picl.Series.Total())
+	}
+}
+
+func TestFig17Bursty(t *testing.T) {
+	series, err := Fig17(Smoke, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if !s.Bursty {
+			t.Fatal("bursty flag lost")
+		}
+		if s.Series.Total() == 0 {
+			t.Fatalf("%s: empty series", s.Scheme)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sb, err := AblateSuperBlock(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-line super blocks shrink the DRAM side-band (paper: <0.8% vs 3.2%).
+	if sb.SideBandBytesSuper >= sb.SideBandBytesLine {
+		t.Fatalf("super-block side-band (%d) not smaller than per-line (%d)",
+			sb.SideBandBytesSuper, sb.SideBandBytesLine)
+	}
+	wa, err := AblateWalker(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.AdvancesOn == 0 {
+		t.Fatal("no rec-epoch advances with walker on")
+	}
+	if wa.AdvancesOff != 0 {
+		t.Fatal("rec-epoch advanced mid-run without walker")
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var b strings.Builder
+	m := newMatrix("t", []string{"w"}, []string{"s"})
+	m.Set("w", "s", 1.5)
+	PrintMatrix(&b, m)
+	PrintFig13(&b, []Fig13Row{{Workload: "w", MasterPct: 13}})
+	PrintFig14(&b, []Fig14Point{{Scheme: "s", EpochSize: 10, NormCycles: 1, NormBytes: 1}})
+	PrintFig15(&b, []Fig15Row{{Scheme: "s", Walker: true}})
+	PrintFig16(&b, Fig16Result{NormCyclesNoBuffer: 1.4, BufferHitRate: 0.7})
+	PrintFig17(&b, nil)
+	cfg := sim.DefaultConfig()
+	PrintConfig(&b, &cfg)
+	PrintSuperBlock(&b, SuperBlockResult{SideBandBytesLine: 100, SideBandBytesSuper: 25})
+	PrintWalker(&b, WalkerAblation{})
+	out := b.String()
+	for _, want := range []string{"t", "Fig 13", "Fig 14", "Fig 15", "Fig 16", "Fig 17", "Table II", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printer output missing %q", want)
+		}
+	}
+}

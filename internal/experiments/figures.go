@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cst"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig11 regenerates Figure 11: wall-clock cycles of every scheme on every
+// workload, normalised to the ideal no-snapshotting system.
+func Fig11(scale Scale, workloads []string) (*Matrix, error) {
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	m := newMatrix("Fig 11: Normalized Cycles (vs no-snapshotting ideal)", workloads, SchemeNames)
+	for _, wl := range workloads {
+		ideal, err := Run("Ideal", wl, scale, nil)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(ideal.Sum.Cycles)
+		for _, sc := range SchemeNames {
+			r, err := Run(sc, wl, scale, nil)
+			if err != nil {
+				return nil, err
+			}
+			m.Set(wl, sc, float64(r.Sum.Cycles)/base)
+		}
+	}
+	return m, nil
+}
+
+// Fig12 regenerates Figure 12: bytes written to NVM (data + log +
+// metadata), normalised to NVOverlay, for the four hardware schemes the
+// paper plots.
+func Fig12(scale Scale, workloads []string) (*Matrix, error) {
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	schemes := []string{"HWShadow", "PiCL", "PiCL-L2", "NVOverlay"}
+	m := newMatrix("Fig 12: NVM Write Bytes (data+log+metadata, normalized to NVOverlay)", workloads, schemes)
+	for _, wl := range workloads {
+		nvo, err := Run("NVOverlay", wl, scale, nil)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(snapshotBytes(nvo.Sum))
+		m.Set(wl, "NVOverlay", 1.0)
+		for _, sc := range schemes[:3] {
+			r, err := Run(sc, wl, scale, nil)
+			if err != nil {
+				return nil, err
+			}
+			m.Set(wl, sc, float64(snapshotBytes(r.Sum))/base)
+		}
+	}
+	return m, nil
+}
+
+// snapshotBytes is the write-amplification numerator the paper uses in
+// Fig 12: snapshot data, log entries and mapping metadata. Processor
+// context dumps are excluded — the baselines would pay an equivalent,
+// unmodelled cost.
+func snapshotBytes(s trace.Summary) int64 {
+	return s.DataBytes + s.LogBytes + s.MetaBytes
+}
+
+// Fig13Row is one bar of Figure 13.
+type Fig13Row struct {
+	Workload      string
+	MasterPct     float64 // Mmaster size as % of write working set
+	LeafOccupancy float64 // fraction of leaf slots mapping a line
+	WorkingSetMB  float64
+}
+
+// Fig13 regenerates Figure 13: the persistent Master Table's size relative
+// to the write working set, per workload, plus the leaf-occupancy statistic
+// behind the paper's yada discussion.
+func Fig13(scale Scale, workloads []string) ([]Fig13Row, error) {
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	var rows []Fig13Row
+	for _, wl := range workloads {
+		r, err := Run("NVOverlay", wl, scale, nil)
+		if err != nil {
+			return nil, err
+		}
+		nvo := r.Scheme.(*core.NVOverlay)
+		ws := nvo.Group().WorkingSetBytes()
+		var pct float64
+		if ws > 0 {
+			pct = 100 * float64(nvo.Group().MasterBytes()) / float64(ws)
+		}
+		rows = append(rows, Fig13Row{
+			Workload:      wl,
+			MasterPct:     pct,
+			LeafOccupancy: nvo.Group().LeafOccupancy(),
+			WorkingSetMB:  float64(ws) / (1 << 20),
+		})
+	}
+	return rows, nil
+}
+
+// Fig14Point is one (scheme, epoch-size) measurement of Figure 14.
+type Fig14Point struct {
+	Scheme     string
+	EpochSize  int
+	NormCycles float64 // vs ideal
+	NormBytes  float64 // vs NVOverlay at the same epoch size
+	RawBytes   int64   // absolute NVM bytes (trend diagnostics)
+}
+
+// Fig14 regenerates Figure 14: epoch-size sensitivity on ART for PiCL,
+// PiCL-L2 and NVOverlay. Epoch sizes sweep 0.5x..4x of the scale's epoch,
+// mirroring the paper's 500K..4M sweep around its 1M default.
+func Fig14(scale Scale) ([]Fig14Point, error) {
+	sizes := []int{scale.EpochSize / 2, scale.EpochSize, scale.EpochSize * 2, scale.EpochSize * 4}
+	schemes := []string{"PiCL", "PiCL-L2", "NVOverlay"}
+	var out []Fig14Point
+	for _, size := range sizes {
+		mod := func(c *sim.Config) { c.EpochSize = size }
+		ideal, err := Run("Ideal", "art", scale, mod)
+		if err != nil {
+			return nil, err
+		}
+		nvo, err := Run("NVOverlay", "art", scale, mod)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range schemes {
+			r := nvo
+			if sc != "NVOverlay" {
+				r, err = Run(sc, "art", scale, mod)
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, Fig14Point{
+				Scheme:     sc,
+				EpochSize:  size,
+				NormCycles: float64(r.Sum.Cycles) / float64(ideal.Sum.Cycles),
+				NormBytes:  float64(snapshotBytes(r.Sum)) / float64(snapshotBytes(nvo.Sum)),
+				RawBytes:   snapshotBytes(r.Sum),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig15Row is one stacked bar of Figure 15: the share of NVM data
+// write-backs by cause.
+type Fig15Row struct {
+	Scheme                             string
+	Walker                             bool
+	CapacityPct, CoherencePct, WalkPct float64
+	Total                              uint64
+}
+
+// Fig15 regenerates Figure 15: the evict-reason decomposition on ART for
+// PiCL, PiCL-L2 and NVOverlay, with and without the tag walker.
+func Fig15(scale Scale) ([]Fig15Row, error) {
+	var rows []Fig15Row
+	for _, walker := range []bool{true, false} {
+		for _, sc := range []string{"PiCL", "PiCL-L2", "NVOverlay"} {
+			r, err := Run(sc, "art", scale, func(c *sim.Config) { c.TagWalker = walker })
+			if err != nil {
+				return nil, err
+			}
+			var capN, cohN, walkN uint64
+			switch s := r.Scheme.(type) {
+			case *core.NVOverlay:
+				fe := s.Frontend()
+				capN = fe.EvictReason(cst.ReasonCapacity) + fe.EvictReason(cst.ReasonDrain)
+				cohN = fe.EvictReason(cst.ReasonCoherence) + fe.EvictReason(cst.ReasonStoreEvict)
+				walkN = fe.EvictReason(cst.ReasonWalk)
+			case interface {
+				EvictReasons() (uint64, uint64, uint64, uint64)
+			}:
+				var logN uint64
+				capN, cohN, walkN, logN = s.EvictReasons()
+				cohN += logN // the paper groups coherence and log traffic
+			}
+			total := capN + cohN + walkN
+			row := Fig15Row{Scheme: sc, Walker: walker, Total: total}
+			if total > 0 {
+				row.CapacityPct = 100 * float64(capN) / float64(total)
+				row.CoherencePct = 100 * float64(cohN) / float64(total)
+				row.WalkPct = 100 * float64(walkN) / float64(total)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig16Result holds the OMC-buffer ablation of Figure 16.
+type Fig16Result struct {
+	NormCyclesNoBuffer float64 // with-buffer = 1.0
+	WritesNoBuffer     int64   // NVM write operations
+	WritesWithBuffer   int64
+	BufferHitRate      float64
+}
+
+// Fig16 regenerates Figure 16: NVOverlay on ART with a single epoch for
+// the whole run, with and without the battery-backed OMC buffer.
+func Fig16(scale Scale) (Fig16Result, error) {
+	oneEpoch := func(buf bool) func(*sim.Config) {
+		return func(c *sim.Config) {
+			c.EpochSize = 1 << 30 // one epoch for the entire run
+			c.OMCBuffer = buf
+		}
+	}
+	noBuf, err := Run("NVOverlay", "art", scale, oneEpoch(false))
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	withBuf, err := Run("NVOverlay", "art", scale, oneEpoch(true))
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	nvo := withBuf.Scheme.(*core.NVOverlay)
+	return Fig16Result{
+		NormCyclesNoBuffer: float64(noBuf.Sum.Cycles) / float64(withBuf.Sum.Cycles),
+		WritesNoBuffer:     noBuf.Scheme.NVM().TotalWrites(),
+		WritesWithBuffer:   withBuf.Scheme.NVM().TotalWrites(),
+		BufferHitRate:      nvo.Group().BufferHitRate(),
+	}, nil
+}
+
+// Fig17Series is one curve of Figure 17.
+type Fig17Series struct {
+	Scheme string
+	Bursty bool
+	Series *stats.TimeSeries
+	Hz     float64
+}
+
+// Fig17 regenerates Figure 17: NVM write bandwidth over run progress on
+// the B+Tree workload, for PiCL and NVOverlay, under the default epoch and
+// under the bursty time-travel-debugging epoch schedule (three windows of
+// progressively larger tiny epochs, as in the paper's Fig 17b).
+func Fig17(scale Scale, bursty bool) ([]Fig17Series, error) {
+	mod := func(c *sim.Config) {
+		if !bursty {
+			return
+		}
+		// Three bursty windows across the run; epoch sizes scale with the
+		// default the same way the paper's 1K/10K/100K relate to 1M.
+		est := uint64(scale.MaxAccesses / 3) // rough stores over the run
+		win := est / 10
+		burst := func(div int) int {
+			size := scale.EpochSize / div
+			if size < 16 {
+				size = 16 // an epoch below ~one operation is meaningless
+			}
+			return size
+		}
+		c.Bursts = []sim.Burst{
+			{From: 1 * est / 5, To: 1*est/5 + win, Size: burst(1000)},
+			{From: 2 * est / 5, To: 2*est/5 + win, Size: burst(100)},
+			{From: 3 * est / 5, To: 3*est/5 + win, Size: burst(10)},
+		}
+	}
+	var out []Fig17Series
+	for _, sc := range []string{"PiCL", "NVOverlay"} {
+		r, err := Run(sc, "btree", scale, mod)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.DefaultConfig()
+		out = append(out, Fig17Series{
+			Scheme: sc,
+			Bursty: bursty,
+			Series: r.Scheme.NVM().Series(),
+			Hz:     cfg.ClockHz,
+		})
+	}
+	return out, nil
+}
+
+// AblateSuperBlock quantifies §V-F's DRAM OID granularity trade-off: the
+// side-band metadata footprint with per-line tags versus 4-line super
+// blocks, on the B+Tree workload.
+type SuperBlockResult struct {
+	SideBandBytesLine  int64
+	SideBandBytesSuper int64
+	CyclesLine         uint64
+	CyclesSuper        uint64
+}
+
+// AblateSuperBlock runs the comparison.
+func AblateSuperBlock(scale Scale) (SuperBlockResult, error) {
+	line, err := Run("NVOverlay", "btree", scale, func(c *sim.Config) { c.SuperBlock = 1 })
+	if err != nil {
+		return SuperBlockResult{}, err
+	}
+	super, err := Run("NVOverlay", "btree", scale, func(c *sim.Config) { c.SuperBlock = 4 })
+	if err != nil {
+		return SuperBlockResult{}, err
+	}
+	return SuperBlockResult{
+		SideBandBytesLine:  line.Scheme.(*core.NVOverlay).DRAM().SideBandBytes(),
+		SideBandBytesSuper: super.Scheme.(*core.NVOverlay).DRAM().SideBandBytes(),
+		CyclesLine:         line.Sum.Cycles,
+		CyclesSuper:        super.Sum.Cycles,
+	}, nil
+}
+
+// WalkerAblation compares NVOverlay cycles and mid-run recoverable-epoch
+// progress with and without the tag walker (beyond Fig 15's decomposition):
+// without walks, no min-ver reports flow and the recoverable epoch never
+// advances until the final drain.
+type WalkerAblation struct {
+	CyclesOn, CyclesOff     uint64
+	AdvancesOn, AdvancesOff int64 // mid-run rec-epoch advances
+}
+
+// AblateWalker runs the comparison on ART.
+func AblateWalker(scale Scale) (WalkerAblation, error) {
+	runOne := func(on bool) (uint64, int64, error) {
+		r, err := Run("NVOverlay", "art", scale, func(c *sim.Config) { c.TagWalker = on })
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Sum.Cycles, r.Scheme.Stats().Get("recepoch_advances"), nil
+	}
+	cycOn, advOn, err := runOne(true)
+	if err != nil {
+		return WalkerAblation{}, err
+	}
+	cycOff, advOff, err := runOne(false)
+	if err != nil {
+		return WalkerAblation{}, err
+	}
+	return WalkerAblation{cycOn, cycOff, advOn, advOff}, nil
+}
+
+// ScalePoint is one core-count measurement of the scalability sweep.
+type ScalePoint struct {
+	Cores      int
+	Scheme     string
+	NormCycles float64 // vs the ideal system at the same core count
+}
+
+// AblateScaling sweeps the core count (the paper's scalability motivation,
+// §II-D): NVOverlay's distributed epochs and per-VD walkers should keep
+// its overhead flat as the machine grows, while PiCL-L2 — the only PiCL
+// variant even possible on a large non-inclusive machine — degrades.
+// Cache capacities scale with the core count so per-core pressure is
+// constant.
+func AblateScaling(scale Scale) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, cores := range []int{4, 8, 16, 32} {
+		cores := cores
+		mod := func(c *sim.Config) {
+			base := sim.DefaultConfig()
+			if scale.Machine != nil {
+				scale.Machine(&base)
+			}
+			c.Cores = cores
+			c.LLCSlices = cores / 2
+			c.LLCSize = base.LLCSize / 16 * cores
+			c.NVMBanks = base.NVMBanks / 16 * cores
+			if c.NVMBanks < 2 {
+				c.NVMBanks = 2
+			}
+		}
+		ideal, err := Run("Ideal", "rbtree", scale, mod)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range []string{"PiCL-L2", "NVOverlay"} {
+			r, err := Run(sc, "rbtree", scale, mod)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScalePoint{
+				Cores:      cores,
+				Scheme:     sc,
+				NormCycles: float64(r.Sum.Cycles) / float64(ideal.Sum.Cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+var _ = fmt.Sprintf
+var _ = baseline.NewIdeal

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// PrintMatrix renders a workloads x schemes table in the paper's layout.
+func PrintMatrix(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "%s\n", m.Title)
+	fmt.Fprintf(w, "%-12s", "workload")
+	for _, sc := range m.Schemes {
+		fmt.Fprintf(w, "%12s", sc)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 12+12*len(m.Schemes)))
+	for _, wl := range m.Workloads {
+		fmt.Fprintf(w, "%-12s", wl)
+		for _, sc := range m.Schemes {
+			fmt.Fprintf(w, "%12.2f", m.Get(wl, sc))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig13 renders the mapping-metadata-cost bars.
+func PrintFig13(w io.Writer, rows []Fig13Row) {
+	fmt.Fprintln(w, "Fig 13: Persistent Mapping Metadata Cost (Mmaster as % of write working set)")
+	fmt.Fprintf(w, "%-12s %12s %14s %14s\n", "workload", "Mmaster(%)", "leaf occ", "workset MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12.1f %14.3f %14.2f\n", r.Workload, r.MasterPct, r.LeafOccupancy, r.WorkingSetMB)
+	}
+}
+
+// PrintFig14 renders the epoch-size sensitivity points.
+func PrintFig14(w io.Writer, pts []Fig14Point) {
+	fmt.Fprintln(w, "Fig 14: Sensitivity to epoch size (ART)")
+	fmt.Fprintf(w, "%-12s %12s %14s %14s\n", "scheme", "epoch", "norm cycles", "norm bytes")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-12s %12d %14.2f %14.2f\n", p.Scheme, p.EpochSize, p.NormCycles, p.NormBytes)
+	}
+}
+
+// PrintFig15 renders the evict-reason decomposition.
+func PrintFig15(w io.Writer, rows []Fig15Row) {
+	fmt.Fprintln(w, "Fig 15: Evict Reason Decomposition (ART; % of NVM data write-backs)")
+	fmt.Fprintf(w, "%-12s %8s %12s %14s %10s %12s\n", "scheme", "walker", "capacity%", "coherence/log%", "walk%", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8v %12.1f %14.1f %10.1f %12d\n",
+			r.Scheme, r.Walker, r.CapacityPct, r.CoherencePct, r.WalkPct, r.Total)
+	}
+}
+
+// PrintFig16 renders the OMC-buffer ablation.
+func PrintFig16(w io.Writer, r Fig16Result) {
+	fmt.Fprintln(w, "Fig 16: Reducing Writes with OMC Buffer (ART, single epoch)")
+	fmt.Fprintf(w, "  normalized cycles without buffer: %.2f (with buffer = 1.00)\n", r.NormCyclesNoBuffer)
+	fmt.Fprintf(w, "  NVM writes: %d (no buffer) vs %d (with buffer)\n", r.WritesNoBuffer, r.WritesWithBuffer)
+	fmt.Fprintf(w, "  buffer hit rate: %.1f%%\n", 100*r.BufferHitRate)
+}
+
+// PrintFig17 renders the bandwidth time series as peak/mean plus an ASCII
+// sparkline per curve.
+func PrintFig17(w io.Writer, series []Fig17Series) {
+	label := "1M default epoch"
+	if len(series) > 0 && series[0].Bursty {
+		label = "bursty epochs"
+	}
+	fmt.Fprintf(w, "Fig 17: NVM Write Bandwidth Time Series (B+Tree, %s)\n", label)
+	for _, s := range series {
+		var peak, sum float64
+		n := 0
+		for i := 0; i < s.Series.Len(); i++ {
+			bw := s.Series.BandwidthGBs(i, s.Hz)
+			if bw > peak {
+				peak = bw
+			}
+			if s.Series.Cycles(i) > 0 {
+				sum += bw
+				n++
+			}
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		fmt.Fprintf(w, "  %-10s peak %6.2f GB/s  mean %6.2f GB/s  %s\n",
+			s.Scheme, peak, mean, s.Series.Sparkline())
+	}
+}
+
+// PrintConfig renders Table II.
+func PrintConfig(w io.Writer, cfg *sim.Config) {
+	fmt.Fprintln(w, "Table II: Simulated Configuration")
+	fmt.Fprintf(w, "  Processor   %d cores, %d-wide VDs, %.0f GHz\n",
+		cfg.Cores, cfg.CoresPerVD, cfg.ClockHz/1e9)
+	fmt.Fprintf(w, "  L1-D cache  %d KB, %d B lines, %d-way, %d cycles\n",
+		cfg.L1Size>>10, cfg.LineSize, cfg.L1Ways, cfg.L1Latency)
+	fmt.Fprintf(w, "  L2 cache    %d KB, %d B lines, %d-way, %d cycles\n",
+		cfg.L2Size>>10, cfg.LineSize, cfg.L2Ways, cfg.L2Latency)
+	fmt.Fprintf(w, "  Shared LLC  %d MB, %d slices, %d-way, %d cycles\n",
+		cfg.LLCSize>>20, cfg.LLCSlices, cfg.LLCWays, cfg.LLCLatency)
+	fmt.Fprintf(w, "  DRAM        %d-cycle access\n", cfg.DRAMLatency)
+	fmt.Fprintf(w, "  NVDIMM      %d banks, %d-cycle (133 ns) write\n", cfg.NVMBanks, cfg.NVMWriteLat)
+	fmt.Fprintf(w, "  Epoch       %d store uops per VD\n", cfg.EpochSize)
+}
+
+// PrintSuperBlock renders the §V-F ablation.
+func PrintSuperBlock(w io.Writer, r SuperBlockResult) {
+	fmt.Fprintln(w, "Ablation: DRAM OID granularity (§V-F, B+Tree)")
+	fmt.Fprintf(w, "  side-band bytes: %d (per line) vs %d (4-line super block, %.1fx smaller)\n",
+		r.SideBandBytesLine, r.SideBandBytesSuper,
+		float64(r.SideBandBytesLine)/float64(maxInt64(r.SideBandBytesSuper, 1)))
+	fmt.Fprintf(w, "  cycles: %d vs %d\n", r.CyclesLine, r.CyclesSuper)
+}
+
+// PrintWalker renders the walker ablation.
+func PrintWalker(w io.Writer, r WalkerAblation) {
+	fmt.Fprintln(w, "Ablation: tag walker (ART)")
+	fmt.Fprintf(w, "  cycles: %d (on) vs %d (off)\n", r.CyclesOn, r.CyclesOff)
+	fmt.Fprintf(w, "  mid-run rec-epoch advances: %d (on) vs %d (off)\n", r.AdvancesOn, r.AdvancesOff)
+}
+
+// PrintScaling renders the core-count sweep.
+func PrintScaling(w io.Writer, pts []ScalePoint) {
+	fmt.Fprintln(w, "Ablation: core-count scaling (rbtree; overhead vs same-size ideal)")
+	fmt.Fprintf(w, "%-8s %12s %14s\n", "cores", "scheme", "norm cycles")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %12s %14.2f\n", p.Cores, p.Scheme, p.NormCycles)
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

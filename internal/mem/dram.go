@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DRAM models the working-memory device. It is latency-only (the paper
+// assumes a write-back DRAM buffer large enough for the whole working set),
+// but it carries the per-line OID side-band that NVOverlay stores in ECC
+// bits or reserved words (§IV-A4). OIDs may be tracked per line or per
+// 4-line "super block" (§V-F); with super blocks the stored OID is only
+// raised, never lowered, exactly as the paper specifies.
+type DRAM struct {
+	cfg  *sim.Config
+	oids map[uint64]uint64 // line (or super-block) address -> version
+	data map[uint64]uint64 // line address -> payload token
+	// dataOID orders write-backs per line: a stale dirty copy evicted from
+	// the LLC after a newer version already reached DRAM (e.g. via the tag
+	// walker's working-copy refresh) must not clobber the newer data. Real
+	// systems get this ordering from coherence; the model enforces it here.
+	dataOID map[uint64]uint64
+	stat    *stats.Set
+}
+
+// NewDRAM constructs the device.
+func NewDRAM(cfg *sim.Config) *DRAM {
+	return &DRAM{
+		cfg:     cfg,
+		oids:    make(map[uint64]uint64),
+		data:    make(map[uint64]uint64),
+		dataOID: make(map[uint64]uint64),
+		stat:    stats.NewSet("dram"),
+	}
+}
+
+// key maps a line address onto its OID tracking granule.
+func (d *DRAM) key(addr uint64) uint64 {
+	granule := uint64(d.cfg.LineSize * d.cfg.SuperBlock)
+	return addr &^ (granule - 1)
+}
+
+// Latency returns the access latency of the device.
+func (d *DRAM) Latency() uint64 { return d.cfg.DRAMLatency }
+
+// WriteBack records a dirty line landing in DRAM with the given version and
+// payload token. With super-block tracking the existing OID is only updated
+// if the incoming OID is larger; the payload is always the newest data.
+func (d *DRAM) WriteBack(addr uint64, oid uint64, data uint64) {
+	k := d.key(addr)
+	if cur, ok := d.oids[k]; !ok || oid > cur {
+		d.oids[k] = oid
+	}
+	line := d.cfg.LineAddr(addr)
+	if cur, ok := d.dataOID[line]; !ok || oid >= cur {
+		d.data[line] = data
+		d.dataOID[line] = oid
+	} else {
+		d.stat.Inc("stale_writebacks_dropped")
+	}
+	d.stat.Inc("writebacks")
+	d.stat.Add("bytes_written", int64(d.cfg.LineSize))
+}
+
+// Data returns the payload token last written back to addr's line (zero for
+// untouched memory).
+func (d *DRAM) Data(addr uint64) uint64 { return d.data[d.cfg.LineAddr(addr)] }
+
+// OID returns the version tag stored for addr's granule (0 if never written:
+// version 0 predates all epochs, so fetching untouched memory never advances
+// anyone's epoch).
+func (d *DRAM) OID(addr uint64) uint64 {
+	d.stat.Inc("oid_lookups")
+	return d.oids[d.key(addr)]
+}
+
+// TaggedLines returns how many OID granules DRAM currently tracks; the
+// experiment harness uses it to report the side-band overhead trade-off of
+// super-block tracking.
+func (d *DRAM) TaggedLines() int { return len(d.oids) }
+
+// SideBandBytes returns the bytes of OID metadata implied by the current
+// tracked set (2 bytes per granule, mirroring the 16-bit tag).
+func (d *DRAM) SideBandBytes() int64 { return int64(len(d.oids)) * 2 }
+
+// Stats exposes the device counter set.
+func (d *DRAM) Stats() *stats.Set { return d.stat }

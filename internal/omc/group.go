@@ -1,0 +1,213 @@
+package omc
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Group is a set of OMCs, each owning an address partition (paper §V-F:
+// "multiple memory controllers may co-exist, each responsible for serving
+// requests on an address partition"). OMC 0 is the master: tag-walker
+// min-ver reports are fan-out to every member (the master aggregation
+// messages are counted), and the globally recoverable epoch is the minimum
+// across members.
+type Group struct {
+	cfg  *sim.Config
+	omcs []*OMC
+	stat *stats.Set
+}
+
+// NewGroup builds n OMCs sharing one NVM device.
+func NewGroup(cfg *sim.Config, nvm *mem.NVM, n int, opts ...Option) *Group {
+	if n <= 0 {
+		n = 1
+	}
+	g := &Group{cfg: cfg, stat: stats.NewSet("omcgroup")}
+	for i := 0; i < n; i++ {
+		g.omcs = append(g.omcs, New(cfg, nvm, i, opts...))
+	}
+	return g
+}
+
+// Route returns the OMC owning addr's partition (4 KB interleaving).
+func (g *Group) Route(addr uint64) *OMC {
+	return g.omcs[int((addr>>12)%uint64(len(g.omcs)))]
+}
+
+// Size returns the number of OMCs.
+func (g *Group) Size() int { return len(g.omcs) }
+
+// OMC returns member i.
+func (g *Group) OMC(i int) *OMC { return g.omcs[i] }
+
+// ReceiveVersion routes a version to its partition's OMC.
+func (g *Group) ReceiveVersion(v Version, now uint64) (stall uint64) {
+	return g.Route(v.Addr).ReceiveVersion(v, now)
+}
+
+// ReportMinVer distributes a VD's min-ver to all members (each computes the
+// same recoverable epoch; the master persists it).
+func (g *Group) ReportMinVer(vd int, ver uint64, now uint64) {
+	for _, o := range g.omcs {
+		o.ReportMinVer(vd, ver, now)
+	}
+	g.stat.Add("minver_messages", int64(len(g.omcs)))
+}
+
+// LowerMinVer lowers a VD's standing min-ver on every member (a dirty old
+// version migrated into the VD via cache-to-cache transfer).
+func (g *Group) LowerMinVer(vd int, ver uint64, now uint64) {
+	for _, o := range g.omcs {
+		o.LowerMinVer(vd, ver, now)
+	}
+	g.stat.Add("minver_lower_messages", int64(len(g.omcs)))
+}
+
+// DumpContext persists a VD's context through the master OMC.
+func (g *Group) DumpContext(vd int, epoch, now uint64) uint64 {
+	return g.omcs[0].DumpContext(vd, epoch, now)
+}
+
+// RecEpoch returns the globally recoverable epoch: the minimum across
+// members (all must have persisted an epoch for it to be recoverable).
+func (g *Group) RecEpoch() uint64 {
+	min := g.omcs[0].RecEpoch()
+	for _, o := range g.omcs[1:] {
+		if e := o.RecEpoch(); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// Seal finalises all members at end of run.
+func (g *Group) Seal(now uint64) {
+	for _, o := range g.omcs {
+		o.Seal(now)
+	}
+}
+
+// RecoverImage materialises the consistent image across all partitions.
+func (g *Group) RecoverImage() (map[uint64]uint64, uint64) {
+	img := make(map[uint64]uint64)
+	var lat uint64
+	for _, o := range g.omcs {
+		part, l := o.RecoverImage()
+		for a, d := range part {
+			img[a] = d
+		}
+		lat += l
+	}
+	return img, lat
+}
+
+// TimeTravelRead routes a fall-through snapshot read to addr's partition.
+func (g *Group) TimeTravelRead(addr, epoch uint64) (uint64, uint64, bool) {
+	return g.Route(addr).TimeTravelRead(addr, epoch)
+}
+
+// MasterRead reads addr from the consistent image.
+func (g *Group) MasterRead(addr uint64) (uint64, bool) {
+	return g.Route(addr).MasterRead(addr)
+}
+
+// EpochDelta merges the per-partition deltas of epoch e.
+func (g *Group) EpochDelta(e uint64) map[uint64]uint64 {
+	delta := make(map[uint64]uint64)
+	for _, o := range g.omcs {
+		for a, d := range o.EpochDelta(e) {
+			delta[a] = d
+		}
+	}
+	return delta
+}
+
+// Epochs returns the union of accessible epoch ids across partitions,
+// unsorted and deduplicated.
+func (g *Group) Epochs() []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, o := range g.omcs {
+		for _, e := range o.Epochs() {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// MasterBytes returns the total persistent Master Table footprint (Fig 13).
+func (g *Group) MasterBytes() int64 {
+	var total int64
+	for _, o := range g.omcs {
+		total += o.master.Bytes()
+	}
+	return total
+}
+
+// MasterEntries returns total mapped lines across partitions.
+func (g *Group) MasterEntries() int {
+	var total int
+	for _, o := range g.omcs {
+		total += o.master.Entries()
+	}
+	return total
+}
+
+// WorkingSetBytes is the write working set: bytes of data mapped by the
+// Master Tables (paper Fig 13's denominator).
+func (g *Group) WorkingSetBytes() int64 {
+	return int64(g.MasterEntries()) * int64(g.cfg.LineSize)
+}
+
+// LeafOccupancy returns the mean master-table leaf occupancy across members.
+func (g *Group) LeafOccupancy() float64 {
+	var entries, slots int
+	for _, o := range g.omcs {
+		_, leaves := o.master.Nodes()
+		entries += o.master.Entries()
+		slots += leaves * leafFanout
+	}
+	if slots == 0 {
+		return 0
+	}
+	return float64(entries) / float64(slots)
+}
+
+// PoolPages returns total allocated pool pages.
+func (g *Group) PoolPages() int {
+	var n int
+	for _, o := range g.omcs {
+		n += o.pool.Pages()
+	}
+	return n
+}
+
+// BufferHitRate aggregates buffer hits across members (0 when disabled).
+func (g *Group) BufferHitRate() float64 {
+	var hits, total uint64
+	for _, o := range g.omcs {
+		if o.buf == nil {
+			continue
+		}
+		hits += o.buf.Hits
+		total += o.buf.Hits + o.buf.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Stats merges all member counter sets plus the group's own.
+func (g *Group) Stats() *stats.Set {
+	merged := stats.NewSet("omcgroup")
+	merged.Merge(g.stat)
+	for _, o := range g.omcs {
+		merged.Merge(o.stat)
+	}
+	return merged
+}

@@ -1,0 +1,460 @@
+package omc
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// OMC is one Overlay Memory Controller (paper §V). It receives versions
+// evicted from versioned domains, persists them into pool pages, tracks
+// them in per-epoch mapping tables, and continuously merges recoverable
+// epochs into the persistent Master Table. Mapping-table updates and merges
+// are background operations: they cost NVM bandwidth (bank bookings) but do
+// not stall execution except through bandwidth backpressure.
+type OMC struct {
+	cfg *sim.Config
+	nvm *mem.NVM
+	id  int
+
+	epochs   map[uint64]*Table // volatile per-epoch tables, unmerged
+	retained map[uint64]*Table // merged tables kept for time-travel reads
+	retain   bool
+	master   *Table
+	pool     *Pool
+	buf      *Buffer
+
+	payload  map[uint64]uint64 // nvmAddr -> data token ("NVM contents")
+	metaNext uint64
+
+	minVer   []uint64 // per VD: smallest possibly-unpersisted version
+	recEpoch uint64
+	maxEpoch uint64
+
+	// subpage accounting: versions per (epoch, 4KB page) for the sparse
+	// sub-page statistic (§V-C / Page Overlays §4.4).
+	vpageCounts map[uint64]map[uint64]int
+
+	// now is the cycle of the in-flight operation; background work (merges,
+	// compaction, master-table writes) issues its NVM traffic at this time.
+	now uint64
+
+	stat *stats.Set
+}
+
+// Option configures an OMC.
+type Option func(*OMC)
+
+// WithBuffer enables the battery-backed write-back buffer of the given size
+// in bytes (0 = LLC-sized).
+func WithBuffer(bytes int) Option {
+	return func(o *OMC) { o.buf = NewBuffer(o.cfg, bytes) }
+}
+
+// WithRetention keeps merged per-epoch tables and their payloads for
+// time-travel reads (the debugging usage model, §V-E).
+func WithRetention() Option {
+	return func(o *OMC) { o.retain = true }
+}
+
+// New constructs OMC number id of n, owning the address partition
+// (addr>>12) % n == id.
+func New(cfg *sim.Config, nvm *mem.NVM, id int, opts ...Option) *OMC {
+	o := &OMC{
+		cfg:         cfg,
+		nvm:         nvm,
+		id:          id,
+		epochs:      make(map[uint64]*Table),
+		retained:    make(map[uint64]*Table),
+		pool:        NewPool(PoolBase+uint64(id)*omcRegion, cfg.PageSize, cfg.LineSize, cfg.NVMPoolPages),
+		payload:     make(map[uint64]uint64),
+		minVer:      make([]uint64, cfg.VDs()),
+		vpageCounts: make(map[uint64]map[uint64]int),
+		stat:        stats.NewSet("omc"),
+	}
+	o.metaNext = MetaBase + uint64(id)*omcRegion
+	o.master = NewMasterTable(
+		func(size int) uint64 {
+			addr := o.metaNext
+			o.metaNext += uint64(size)
+			return addr
+		},
+		func(nvmAddr uint64, size int) {
+			// Master Table mutations are persistent 8-byte writes; merge
+			// bursts advance the controller's local time so a full queue
+			// delays the merge rather than compounding stalls.
+			o.now += o.nvm.Write(mem.WMeta, nvmAddr, size, o.now)
+			o.stat.Inc("meta_writes")
+		},
+	)
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// ReceiveVersion accepts a snapshot line from the frontend at cycle now and
+// returns the backpressure stall to charge the evicting access.
+func (o *OMC) ReceiveVersion(v Version, now uint64) (stall uint64) {
+	o.now = now
+	o.stat.Inc("versions_received")
+	if v.Epoch > o.maxEpoch {
+		o.maxEpoch = v.Epoch
+	}
+	if o.buf != nil {
+		flush := o.buf.Absorb(v)
+		for _, fv := range flush {
+			stall += o.writeVersion(fv, now+stall)
+		}
+		return stall
+	}
+	return o.writeVersion(v, now)
+}
+
+// lateVersionHook, when set, observes versions arriving for epochs at or
+// below the recoverable epoch (a min-ver protocol violation; test-only).
+var lateVersionHook func(v Version, recEpoch uint64)
+
+// SetLateVersionHook installs the test-only late-version observer.
+func SetLateVersionHook(f func(v Version, recEpoch uint64)) { lateVersionHook = f }
+
+// writeVersion persists one version into its epoch's overlay.
+func (o *OMC) writeVersion(v Version, now uint64) (stall uint64) {
+	if lateVersionHook != nil && v.Epoch <= o.recEpoch {
+		lateVersionHook(v, o.recEpoch)
+	}
+	nvmAddr, newPage := o.pool.Alloc(v.Epoch)
+	if newPage {
+		o.stat.Inc("pages_allocated")
+	}
+	stall += o.nvm.Write(mem.WData, nvmAddr, o.cfg.LineSize, now)
+	o.payload[nvmAddr] = v.Data
+	t := o.epochs[v.Epoch]
+	if t == nil {
+		t = NewEpochTable()
+		o.epochs[v.Epoch] = t
+	}
+	if old, replaced := t.Insert(v.Addr, nvmAddr); replaced {
+		// The epoch's snapshot keeps only its newest version of an address.
+		delete(o.payload, old)
+		o.pool.Release(old)
+		o.stat.Inc("same_epoch_replacements")
+	} else {
+		vp := o.vpageCounts[v.Epoch]
+		if vp == nil {
+			vp = make(map[uint64]int)
+			o.vpageCounts[v.Epoch] = vp
+		}
+		vp[o.cfg.PageAddr(v.Addr)]++
+	}
+	if o.pool.OverQuota() {
+		stall += o.Compact(now + stall)
+	}
+	return stall
+}
+
+// ReportMinVer records a tag walker's min-ver message for a VD (paper
+// §V-B) and merges any epochs that became recoverable.
+func (o *OMC) ReportMinVer(vd int, ver uint64, now uint64) {
+	o.now = now
+	o.stat.Inc("minver_reports")
+	if ver < o.minVer[vd] {
+		// A VD's view may regress transiently if an older version surfaced;
+		// take the conservative minimum.
+		o.minVer[vd] = ver
+		return
+	}
+	o.minVer[vd] = ver
+	o.advanceRecEpoch(now)
+}
+
+// LowerMinVer conservatively lowers a VD's standing min-ver without
+// advancing the recoverable epoch. The frontend calls it when a dirty
+// version of an old epoch migrates into a VD via cache-to-cache transfer
+// (§IV-A3): the receiving VD now holds an unpersisted version older than
+// its last tag-walk report, so rec-epoch must not advance past it until the
+// VD's next walk confirms persistence.
+func (o *OMC) LowerMinVer(vd int, ver uint64, now uint64) {
+	o.now = now
+	if ver < o.minVer[vd] {
+		o.minVer[vd] = ver
+		o.stat.Inc("minver_lowered")
+	}
+}
+
+func (o *OMC) advanceRecEpoch(now uint64) {
+	er := o.minVer[0]
+	for _, v := range o.minVer[1:] {
+		if v < er {
+			er = v
+		}
+	}
+	if er > 0 {
+		er--
+	}
+	if er <= o.recEpoch {
+		return
+	}
+	if o.buf != nil {
+		// Buffered versions of closed epochs must persist before the epochs
+		// can be declared recoverable.
+		for _, fv := range o.buf.FlushBefore(er + 1) {
+			o.now += o.writeVersion(fv, o.now)
+		}
+	}
+	// Merge every newly recoverable epoch, in order.
+	var pending []uint64
+	for e := range o.epochs {
+		if e > o.recEpoch && e <= er {
+			pending = append(pending, e)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, e := range pending {
+		o.mergeEpoch(e, now)
+	}
+	o.recEpoch = er
+	// Persist the new rec-epoch pointer atomically (8-byte write).
+	o.nvm.Write(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, now)
+	o.stat.Inc("recepoch_advances")
+}
+
+// mergeEpoch folds M_e into the Master Table: table entries are copied, no
+// data pages move (paper §V-C).
+func (o *OMC) mergeEpoch(e uint64, now uint64) {
+	t := o.epochs[e]
+	if t == nil {
+		return
+	}
+	o.now = now
+	t.ForEach(func(lineAddr, nvmAddr uint64) {
+		if old, replaced := o.master.Insert(lineAddr, nvmAddr); replaced {
+			// The unmapped version becomes stale; release unless retained
+			// for time travel.
+			if !o.retain {
+				delete(o.payload, old)
+				o.pool.Release(old)
+			}
+			o.stat.Inc("versions_unmapped")
+		}
+	})
+	o.pool.CloseEpoch(e)
+	o.stat.Inc("epochs_merged")
+	o.stat.Add("entries_merged", int64(t.Entries()))
+	delete(o.epochs, e)
+	delete(o.vpageCounts, e)
+	if o.retain {
+		o.retained[e] = t
+	}
+}
+
+// Compact performs version compaction (paper §V-D): live versions on the
+// oldest recoverable epoch's pages are rewritten as if stored in the
+// current epoch, freeing their source pages. Returns NVM backpressure.
+func (o *OMC) Compact(now uint64) (stall uint64) {
+	o.now = now
+	oldest, ok := o.pool.OldestEpochWithPages()
+	if !ok || oldest > o.recEpoch || oldest == o.maxEpoch {
+		// Only merged epochs can be compacted, and compacting the current
+		// epoch into itself would be pointless.
+		return 0
+	}
+	victims := o.pool.PagesOfEpoch(oldest)
+	inVictim := func(a uint64) bool {
+		base := a &^ uint64(o.cfg.PageSize-1)
+		for _, vb := range victims {
+			if vb == base {
+				return true
+			}
+		}
+		return false
+	}
+	type move struct{ lineAddr, nvmAddr uint64 }
+	var moves []move
+	o.master.ForEach(func(lineAddr, nvmAddr uint64) {
+		if inVictim(nvmAddr) {
+			moves = append(moves, move{lineAddr, nvmAddr})
+		}
+	})
+	for _, m := range moves {
+		newAddr, _ := o.pool.Alloc(o.maxEpoch)
+		stall += o.nvm.Write(mem.WData, newAddr, o.cfg.LineSize, now+stall)
+		o.payload[newAddr] = o.payload[m.nvmAddr]
+		o.master.Insert(m.lineAddr, newAddr)
+		delete(o.payload, m.nvmAddr)
+		o.pool.Release(m.nvmAddr)
+		o.stat.Inc("versions_compacted")
+	}
+	// Pages of the victim epoch holding no live data are reclaimed even if
+	// the epoch's cursor was still open.
+	o.pool.CloseEpoch(oldest)
+	o.stat.Inc("compactions")
+	return stall
+}
+
+// DumpContext persists a VD's processor context at an epoch boundary.
+func (o *OMC) DumpContext(vd int, epoch, now uint64) (stall uint64) {
+	addr := ContextBase + uint64(o.id)*omcRegion + uint64(vd)*uint64(o.cfg.ContextDumpBytes)
+	stall = o.nvm.Write(mem.WContext, addr, int(o.cfg.ContextDumpBytes), now)
+	o.stat.Inc("context_dumps")
+	_ = epoch
+	return stall
+}
+
+// Seal finalises the OMC at end of run: buffered versions are flushed and
+// every remaining epoch table is merged, making the final epoch recoverable.
+func (o *OMC) Seal(now uint64) {
+	o.now = now
+	if o.buf != nil {
+		for _, fv := range o.buf.Flush() {
+			o.now += o.writeVersion(fv, o.now)
+		}
+	}
+	var pending []uint64
+	for e := range o.epochs {
+		pending = append(pending, e)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, e := range pending {
+		o.mergeEpoch(e, now)
+	}
+	if o.maxEpoch > o.recEpoch {
+		o.recEpoch = o.maxEpoch
+	}
+	o.nvm.Write(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, now)
+}
+
+// RecEpoch returns the recoverable epoch from this OMC's perspective.
+func (o *OMC) RecEpoch() uint64 { return o.recEpoch }
+
+// Master exposes the Master Table (consistent image of rec-epoch).
+func (o *OMC) Master() *Table { return o.master }
+
+// Pool exposes the page pool.
+func (o *OMC) Pool() *Pool { return o.pool }
+
+// Buffer returns the OMC buffer, or nil when disabled.
+func (o *OMC) Buffer() *Buffer { return o.buf }
+
+// Stats returns the OMC counter set.
+func (o *OMC) Stats() *stats.Set { return o.stat }
+
+// MasterRead returns the payload of addr in the consistent image.
+func (o *OMC) MasterRead(addr uint64) (uint64, bool) {
+	nvmAddr, ok := o.master.Lookup(addr)
+	if !ok {
+		return 0, false
+	}
+	data, ok := o.payload[nvmAddr]
+	return data, ok
+}
+
+// TimeTravelRead returns the value of addr as of the given epoch using the
+// paper's fall-through semantics (§V-E): the largest epoch E' <= epoch whose
+// table maps the address wins; retained (merged) epochs participate when
+// retention is enabled. The boolean reports whether any version <= epoch
+// exists and is still materialised (compaction may have reclaimed it).
+func (o *OMC) TimeTravelRead(addr uint64, epoch uint64) (data uint64, foundEpoch uint64, ok bool) {
+	lookup := func(e uint64, t *Table) bool {
+		if e > epoch || (ok && e <= foundEpoch) {
+			return false
+		}
+		nvmAddr, hit := t.Lookup(addr)
+		if !hit {
+			return false
+		}
+		d, live := o.payload[nvmAddr]
+		if !live {
+			return false
+		}
+		data, foundEpoch, ok = d, e, true
+		return true
+	}
+	for e, t := range o.epochs {
+		lookup(e, t)
+	}
+	for e, t := range o.retained {
+		lookup(e, t)
+	}
+	return data, foundEpoch, ok
+}
+
+// RecoverImage materialises the consistent memory image of rec-epoch as an
+// address->payload map and returns it with the simulated recovery latency
+// (NVM reads for every mapped line, paper §V-E).
+func (o *OMC) RecoverImage() (map[uint64]uint64, uint64) {
+	img := make(map[uint64]uint64, o.master.Entries())
+	var lat uint64
+	o.master.ForEach(func(lineAddr, nvmAddr uint64) {
+		if data, ok := o.payload[nvmAddr]; ok {
+			img[lineAddr] = data
+			lat += o.nvm.Read()
+		}
+	})
+	return img, lat
+}
+
+// EpochDelta returns the incremental changes captured by epoch e as an
+// address->payload map (unmerged or retained epochs only). This is the
+// unit of remote replication (§V-E): each delta can be shipped and
+// replayed as a redo log on a backup machine.
+func (o *OMC) EpochDelta(e uint64) map[uint64]uint64 {
+	t := o.epochs[e]
+	if t == nil {
+		t = o.retained[e]
+	}
+	if t == nil {
+		return nil
+	}
+	delta := make(map[uint64]uint64, t.Entries())
+	t.ForEach(func(lineAddr, nvmAddr uint64) {
+		if d, ok := o.payload[nvmAddr]; ok {
+			delta[lineAddr] = d
+		}
+	})
+	return delta
+}
+
+// Epochs returns the ids of all epochs with accessible tables (unmerged
+// plus retained), unsorted.
+func (o *OMC) Epochs() []uint64 {
+	var out []uint64
+	for e := range o.epochs {
+		out = append(out, e)
+	}
+	for e := range o.retained {
+		if _, dup := o.epochs[e]; !dup {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SubpageBytes estimates the storage the current unmerged epochs would use
+// under Page Overlays sparse sub-page packing, for comparison against the
+// pool's page-granular allocation.
+func (o *OMC) SubpageBytes() int64 {
+	var total int64
+	for _, vp := range o.vpageCounts {
+		for _, count := range vp {
+			total += int64(SubpageSize(count, o.cfg.LineSize, o.cfg.PageSize))
+		}
+	}
+	return total
+}
+
+// SubpageSize returns the smallest power-of-two sub-page (in bytes, between
+// one line and a full page) able to hold count versions.
+func SubpageSize(count, lineSize, pageSize int) int {
+	need := count * lineSize
+	size := lineSize
+	for size < need && size < pageSize {
+		size *= 2
+	}
+	if size > pageSize {
+		size = pageSize
+	}
+	return size
+}

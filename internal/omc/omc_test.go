@@ -1,0 +1,342 @@
+package omc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func omcCfg() *sim.Config {
+	cfg := sim.DefaultConfig()
+	return &cfg
+}
+
+func newTestOMC(cfg *sim.Config, opts ...Option) (*OMC, *mem.NVM) {
+	nvm := mem.NewNVM(cfg)
+	return New(cfg, nvm, 0, opts...), nvm
+}
+
+func TestReceiveVersionWritesData(t *testing.T) {
+	cfg := omcCfg()
+	o, nvm := newTestOMC(cfg)
+	o.ReceiveVersion(Version{Addr: 0x1040, Epoch: 1, Data: 42}, 0)
+	if nvm.Bytes(mem.WData) != 64 {
+		t.Fatalf("data bytes = %d", nvm.Bytes(mem.WData))
+	}
+	if o.Stats().Get("versions_received") != 1 {
+		t.Fatal("version counter")
+	}
+	// Not yet recoverable: master is empty.
+	if _, ok := o.MasterRead(0x1040); ok {
+		t.Fatal("unmerged version visible in master")
+	}
+}
+
+func TestSameEpochReplacement(t *testing.T) {
+	cfg := omcCfg()
+	o, _ := newTestOMC(cfg)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 1}, 0)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 2}, 0)
+	if o.Stats().Get("same_epoch_replacements") != 1 {
+		t.Fatal("replacement not detected")
+	}
+	// Only the newest version of the epoch survives.
+	d, e, ok := o.TimeTravelRead(0x40, 1)
+	if !ok || d != 2 || e != 1 {
+		t.Fatalf("time travel = %d,%d,%v", d, e, ok)
+	}
+}
+
+func TestRecEpochProtocol(t *testing.T) {
+	cfg := omcCfg()
+	cfg.Cores = 4
+	cfg.CoresPerVD = 2 // 2 VDs
+	o, _ := newTestOMC(cfg)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 7}, 0)
+	o.ReceiveVersion(Version{Addr: 0x80, Epoch: 2, Data: 8}, 0)
+
+	// Only VD0 reports: epoch 0 recoverable at most (VD1 silent).
+	o.ReportMinVer(0, 3, 0)
+	if o.RecEpoch() != 0 {
+		t.Fatalf("recEpoch = %d, want 0", o.RecEpoch())
+	}
+	// VD1 reports min-ver 2: epochs < 2 are persisted everywhere => rec = 1.
+	o.ReportMinVer(1, 2, 0)
+	if o.RecEpoch() != 1 {
+		t.Fatalf("recEpoch = %d, want 1", o.RecEpoch())
+	}
+	if d, ok := o.MasterRead(0x40); !ok || d != 7 {
+		t.Fatalf("master read = %d,%v", d, ok)
+	}
+	if _, ok := o.MasterRead(0x80); ok {
+		t.Fatal("epoch-2 version leaked into master at rec-epoch 1")
+	}
+	// VD1 catches up: epoch 2 merges.
+	o.ReportMinVer(0, 3, 0)
+	o.ReportMinVer(1, 3, 0)
+	if o.RecEpoch() != 2 {
+		t.Fatalf("recEpoch = %d, want 2", o.RecEpoch())
+	}
+	if d, ok := o.MasterRead(0x80); !ok || d != 8 {
+		t.Fatalf("master read = %d,%v", d, ok)
+	}
+}
+
+func TestMergeReleasesStaleVersions(t *testing.T) {
+	cfg := omcCfg()
+	cfg.Cores = 2
+	cfg.CoresPerVD = 2 // 1 VD
+	o, _ := newTestOMC(cfg)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 1}, 0)
+	o.ReportMinVer(0, 2, 0) // merge epoch 1
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 2, Data: 2}, 0)
+	o.ReportMinVer(0, 3, 0) // merge epoch 2: epoch-1 version unmapped
+	if o.Stats().Get("versions_unmapped") != 1 {
+		t.Fatalf("unmapped = %d", o.Stats().Get("versions_unmapped"))
+	}
+	if d, _ := o.MasterRead(0x40); d != 2 {
+		t.Fatalf("master = %d", d)
+	}
+	if o.Stats().Get("epochs_merged") != 2 {
+		t.Fatal("merge count")
+	}
+}
+
+func TestSealMergesEverything(t *testing.T) {
+	cfg := omcCfg()
+	o, _ := newTestOMC(cfg)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 1}, 0)
+	o.ReceiveVersion(Version{Addr: 0x80, Epoch: 5, Data: 5}, 0)
+	o.Seal(100)
+	if o.RecEpoch() != 5 {
+		t.Fatalf("recEpoch after seal = %d", o.RecEpoch())
+	}
+	img, lat := o.RecoverImage()
+	if len(img) != 2 || img[0x40] != 1 || img[0x80] != 5 {
+		t.Fatalf("recovered image = %v", img)
+	}
+	if lat == 0 {
+		t.Fatal("recovery latency should be non-zero")
+	}
+}
+
+func TestTimeTravelFallThrough(t *testing.T) {
+	cfg := omcCfg()
+	o, _ := newTestOMC(cfg, WithRetention())
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 10}, 0)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 3, Data: 30}, 0)
+	o.ReceiveVersion(Version{Addr: 0x80, Epoch: 2, Data: 20}, 0)
+	o.Seal(0)
+
+	// Epoch 1: only the epoch-1 version is visible.
+	if d, e, ok := o.TimeTravelRead(0x40, 1); !ok || d != 10 || e != 1 {
+		t.Fatalf("epoch1 = %d,%d,%v", d, e, ok)
+	}
+	// Epoch 2 falls through to epoch 1 for 0x40.
+	if d, e, ok := o.TimeTravelRead(0x40, 2); !ok || d != 10 || e != 1 {
+		t.Fatalf("epoch2 fall-through = %d,%d,%v", d, e, ok)
+	}
+	// Epoch 3 and beyond see the newest.
+	if d, _, _ := o.TimeTravelRead(0x40, 9); d != 30 {
+		t.Fatalf("epoch9 = %d", d)
+	}
+	// Address written only in epoch 2 is invisible at epoch 1.
+	if _, _, ok := o.TimeTravelRead(0x80, 1); ok {
+		t.Fatal("future version visible in the past")
+	}
+	// Unknown address.
+	if _, _, ok := o.TimeTravelRead(0xF000, 9); ok {
+		t.Fatal("unknown address resolved")
+	}
+}
+
+func TestTimeTravelWithoutRetention(t *testing.T) {
+	cfg := omcCfg()
+	o, _ := newTestOMC(cfg) // no retention
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 10}, 0)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 2, Data: 20}, 0)
+	o.Seal(0)
+	// Epoch tables were merged and dropped: only unmerged epochs are
+	// time-travel readable, so nothing resolves...
+	if _, _, ok := o.TimeTravelRead(0x40, 2); ok {
+		t.Fatal("dropped epoch table still resolves")
+	}
+	// ...but the master still serves the consistent image.
+	if d, ok := o.MasterRead(0x40); !ok || d != 20 {
+		t.Fatalf("master read = %d,%v", d, ok)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	cfg := omcCfg()
+	cfg.NVMPoolPages = 2
+	cfg.Cores = 2
+	cfg.CoresPerVD = 2
+	o, nvm := newTestOMC(cfg)
+	// Epoch 1: one sparse page (2 lines), merged into master.
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 1}, 0)
+	o.ReceiveVersion(Version{Addr: 0x80, Epoch: 1, Data: 2}, 0)
+	o.ReportMinVer(0, 2, 0)
+	dataBefore := nvm.Bytes(mem.WData)
+	// Epoch 2 and 3 each open pages; quota 2 exceeded triggers compaction of
+	// epoch 1's page into the current epoch.
+	o.ReceiveVersion(Version{Addr: 0x1040, Epoch: 2, Data: 3}, 0)
+	o.ReportMinVer(0, 3, 0)
+	o.ReceiveVersion(Version{Addr: 0x2040, Epoch: 3, Data: 4}, 0)
+	if o.Stats().Get("compactions") == 0 {
+		t.Fatal("no compaction despite quota pressure")
+	}
+	if o.Stats().Get("versions_compacted") != 2 {
+		t.Fatalf("versions compacted = %d", o.Stats().Get("versions_compacted"))
+	}
+	// Compaction rewrites data: write amplification recorded.
+	if nvm.Bytes(mem.WData) <= dataBefore+64 {
+		t.Fatal("compaction did not rewrite versions")
+	}
+	// The image survives compaction.
+	o.Seal(0)
+	img, _ := o.RecoverImage()
+	want := map[uint64]uint64{0x40: 1, 0x80: 2, 0x1040: 3, 0x2040: 4}
+	for a, d := range want {
+		if img[a] != d {
+			t.Fatalf("addr %#x = %d, want %d (image corrupted by compaction)", a, img[a], d)
+		}
+	}
+	if o.Pool().Frees == 0 {
+		t.Fatal("compaction freed no pages")
+	}
+}
+
+func TestContextDump(t *testing.T) {
+	cfg := omcCfg()
+	o, nvm := newTestOMC(cfg)
+	o.DumpContext(3, 7, 100)
+	if nvm.Bytes(mem.WContext) != cfg.ContextDumpBytes {
+		t.Fatalf("context bytes = %d", nvm.Bytes(mem.WContext))
+	}
+}
+
+func TestOMCBufferAbsorbsRedundantWrites(t *testing.T) {
+	cfg := omcCfg()
+	o, nvm := newTestOMC(cfg, WithBuffer(0))
+	for i := 0; i < 100; i++ {
+		o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: uint64(i)}, 0)
+	}
+	// 1 miss + 99 hits; no NVM data written yet.
+	if nvm.Bytes(mem.WData) != 0 {
+		t.Fatalf("buffered writes leaked to NVM: %d bytes", nvm.Bytes(mem.WData))
+	}
+	if hr := o.Buffer().HitRate(); hr < 0.98 {
+		t.Fatalf("hit rate = %f", hr)
+	}
+	o.Seal(0)
+	if nvm.Bytes(mem.WData) != 64 {
+		t.Fatalf("seal flushed %d bytes, want 64", nvm.Bytes(mem.WData))
+	}
+	if d, _ := o.MasterRead(0x40); d != 99 {
+		t.Fatalf("final data = %d", d)
+	}
+}
+
+func TestOMCBufferEpochTurnoverFlushesOldVersion(t *testing.T) {
+	cfg := omcCfg()
+	o, nvm := newTestOMC(cfg, WithBuffer(0))
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 1}, 0)
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 2, Data: 2}, 0)
+	// The epoch-1 version belongs to a closed snapshot: it must persist.
+	if nvm.Bytes(mem.WData) != 64 {
+		t.Fatalf("old version not flushed: %d bytes", nvm.Bytes(mem.WData))
+	}
+	o.Seal(0)
+	img, _ := o.RecoverImage()
+	if img[0x40] != 2 {
+		t.Fatalf("image = %v", img)
+	}
+}
+
+func TestSubpageSize(t *testing.T) {
+	cases := []struct{ count, want int }{
+		{1, 64}, {2, 128}, {3, 256}, {4, 256}, {5, 512},
+		{64, 4096}, {100, 4096}, {0, 64},
+	}
+	for _, c := range cases {
+		if got := SubpageSize(c.count, 64, 4096); got != c.want {
+			t.Fatalf("SubpageSize(%d) = %d, want %d", c.count, got, c.want)
+		}
+	}
+}
+
+func TestSubpageBytesAccounting(t *testing.T) {
+	cfg := omcCfg()
+	o, _ := newTestOMC(cfg)
+	// 3 versions in one 4KB page of epoch 1 => 256B subpage.
+	o.ReceiveVersion(Version{Addr: 0x40, Epoch: 1, Data: 1}, 0)
+	o.ReceiveVersion(Version{Addr: 0x80, Epoch: 1, Data: 2}, 0)
+	o.ReceiveVersion(Version{Addr: 0xC0, Epoch: 1, Data: 3}, 0)
+	if got := o.SubpageBytes(); got != 256 {
+		t.Fatalf("subpage bytes = %d, want 256", got)
+	}
+}
+
+func TestGroupRoutingAndRecovery(t *testing.T) {
+	cfg := omcCfg()
+	cfg.Cores = 2
+	cfg.CoresPerVD = 2
+	nvm := mem.NewNVM(cfg)
+	g := NewGroup(cfg, nvm, 4)
+	if g.Size() != 4 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	// Spread versions over partitions.
+	for i := 0; i < 32; i++ {
+		addr := uint64(i) << 12 // distinct 4KB pages -> different OMCs
+		g.ReceiveVersion(Version{Addr: addr, Epoch: 1, Data: uint64(i + 1)}, 0)
+	}
+	g.ReportMinVer(0, 2, 0)
+	if g.RecEpoch() != 1 {
+		t.Fatalf("group recEpoch = %d", g.RecEpoch())
+	}
+	img, _ := g.RecoverImage()
+	if len(img) != 32 {
+		t.Fatalf("image size = %d", len(img))
+	}
+	for i := 0; i < 32; i++ {
+		if img[uint64(i)<<12] != uint64(i+1) {
+			t.Fatalf("addr %d corrupted", i)
+		}
+	}
+	if g.MasterEntries() != 32 {
+		t.Fatalf("master entries = %d", g.MasterEntries())
+	}
+	if g.WorkingSetBytes() != 32*64 {
+		t.Fatalf("working set = %d", g.WorkingSetBytes())
+	}
+	if g.MasterBytes() == 0 || g.LeafOccupancy() <= 0 {
+		t.Fatal("master accounting empty")
+	}
+	if d, ok := g.MasterRead(3 << 12); !ok || d != 4 {
+		t.Fatalf("group master read = %d,%v", d, ok)
+	}
+	if g.PoolPages() == 0 {
+		t.Fatal("no pool pages")
+	}
+	if g.Stats().Get("minver_messages") != 4 {
+		t.Fatal("min-ver fan-out not counted")
+	}
+}
+
+func TestGroupSealAndTimeTravel(t *testing.T) {
+	cfg := omcCfg()
+	nvm := mem.NewNVM(cfg)
+	g := NewGroup(cfg, nvm, 2, WithRetention())
+	g.ReceiveVersion(Version{Addr: 0x1000, Epoch: 1, Data: 5}, 0)
+	g.ReceiveVersion(Version{Addr: 0x1000, Epoch: 4, Data: 9}, 0)
+	g.Seal(0)
+	if d, e, ok := g.TimeTravelRead(0x1000, 2); !ok || d != 5 || e != 1 {
+		t.Fatalf("time travel = %d,%d,%v", d, e, ok)
+	}
+	if g.BufferHitRate() != 0 {
+		t.Fatal("buffer hit rate without buffers should be 0")
+	}
+}

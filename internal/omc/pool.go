@@ -1,0 +1,194 @@
+package omc
+
+import "fmt"
+
+// NVM address-space layout for MNM structures. Each OMC owns a disjoint
+// region keyed by its id, so multi-OMC configurations never collide.
+const (
+	// PoolBase is the base NVM address of overlay data pages.
+	PoolBase uint64 = 1 << 40
+	// MetaBase is the base NVM address of persistent mapping-table nodes.
+	MetaBase uint64 = 1 << 41
+	// ContextBase is where per-VD processor context dumps land.
+	ContextBase uint64 = 1 << 42
+	// RecEpochAddr is the well-known location of the persisted rec-epoch.
+	RecEpochAddr uint64 = 1<<42 - 8
+	// omcRegion is the per-OMC stride within each base region.
+	omcRegion uint64 = 1 << 36
+)
+
+type pageInfo struct {
+	epoch uint64 // epoch whose versions the page stores
+	live  int    // live (mapped) versions on the page
+}
+
+type openPage struct {
+	base uint64
+	used int
+}
+
+// Pool is the OMC-managed NVM page buffer pool (paper §V-C). Pages are
+// allocated from a bitmap; versions are appended to the open page of their
+// epoch; a per-page live count supports garbage collection once the Master
+// Table unmaps versions (§V-D).
+type Pool struct {
+	base         uint64
+	pageSize     int
+	lineSize     int
+	linesPerPage int
+	quota        int // pages; 0 = unbounded
+
+	bitmap []uint64 // 1 bit per page index; set = allocated
+	cursor int      // rotating scan start for find-first-zero
+	pages  map[uint64]*pageInfo
+	open   map[uint64]*openPage // epoch -> append cursor
+
+	allocated int
+	// Frees counts pages returned to the bitmap (GC effectiveness stat).
+	Frees int
+}
+
+// NewPool creates a pool whose pages live at base. quota caps the page
+// count (0 for unbounded); the OMC triggers version compaction when the
+// pool exceeds it.
+func NewPool(base uint64, pageSize, lineSize, quota int) *Pool {
+	return &Pool{
+		base:         base,
+		pageSize:     pageSize,
+		lineSize:     lineSize,
+		linesPerPage: pageSize / lineSize,
+		quota:        quota,
+		pages:        make(map[uint64]*pageInfo),
+		open:         make(map[uint64]*openPage),
+	}
+}
+
+// allocPageIndex finds a free page index in the bitmap, growing it when the
+// pool is unbounded or under quota.
+func (p *Pool) allocPageIndex() int {
+	nbits := len(p.bitmap) * 64
+	for off := 0; off < nbits; off++ {
+		i := (p.cursor + off) % nbits
+		w, b := i/64, uint(i%64)
+		if p.bitmap[w]&(1<<b) == 0 {
+			p.bitmap[w] |= 1 << b
+			p.cursor = i + 1
+			return i
+		}
+	}
+	// Grow the bitmap (doubling, starting at one word).
+	grow := len(p.bitmap)
+	if grow == 0 {
+		grow = 1
+	}
+	p.bitmap = append(p.bitmap, make([]uint64, grow)...)
+	i := nbits
+	p.bitmap[i/64] |= 1 << uint(i%64)
+	p.cursor = i + 1
+	return i
+}
+
+// Alloc returns the NVM address of a fresh version slot for the given
+// epoch. newPage reports whether a page had to be allocated.
+func (p *Pool) Alloc(epoch uint64) (nvmAddr uint64, newPage bool) {
+	op := p.open[epoch]
+	if op == nil || op.used == p.linesPerPage {
+		idx := p.allocPageIndex()
+		base := p.base + uint64(idx)*uint64(p.pageSize)
+		p.pages[base] = &pageInfo{epoch: epoch}
+		op = &openPage{base: base}
+		p.open[epoch] = op
+		p.allocated++
+		newPage = true
+	}
+	addr := op.base + uint64(op.used*p.lineSize)
+	op.used++
+	p.pages[op.base].live++
+	return addr, newPage
+}
+
+// Release unmaps one version; when its page's live count reaches zero the
+// page returns to the bitmap. Returns whether a page was freed.
+func (p *Pool) Release(nvmAddr uint64) bool {
+	base := nvmAddr &^ uint64(p.pageSize-1)
+	info := p.pages[base]
+	if info == nil {
+		panic(fmt.Sprintf("omc: Release of unallocated address %#x", nvmAddr))
+	}
+	info.live--
+	if info.live > 0 {
+		return false
+	}
+	// Keep the epoch's open page allocated even if momentarily empty: its
+	// append cursor is still active.
+	if op := p.open[info.epoch]; op != nil && op.base == base && op.used < p.linesPerPage {
+		return false
+	}
+	delete(p.pages, base)
+	idx := int((base - p.base) / uint64(p.pageSize))
+	p.bitmap[idx/64] &^= 1 << uint(idx%64)
+	p.allocated--
+	p.Frees++
+	return true
+}
+
+// CloseEpoch retires the epoch's open page cursor (no more appends), letting
+// a fully dead page be reclaimed.
+func (p *Pool) CloseEpoch(epoch uint64) {
+	op := p.open[epoch]
+	if op == nil {
+		return
+	}
+	delete(p.open, epoch)
+	if info := p.pages[op.base]; info != nil && info.live == 0 {
+		delete(p.pages, op.base)
+		idx := int((op.base - p.base) / uint64(p.pageSize))
+		p.bitmap[idx/64] &^= 1 << uint(idx%64)
+		p.allocated--
+		p.Frees++
+	}
+}
+
+// Pages returns the number of allocated pages.
+func (p *Pool) Pages() int { return p.allocated }
+
+// Bytes returns the allocated NVM storage.
+func (p *Pool) Bytes() int64 { return int64(p.allocated) * int64(p.pageSize) }
+
+// OverQuota reports whether the pool exceeds its configured quota.
+func (p *Pool) OverQuota() bool { return p.quota > 0 && p.allocated > p.quota }
+
+// OldestEpochWithPages returns the smallest epoch that still owns allocated
+// pages, for the compaction policy ("start from the oldest epoch still
+// having versions mapped", §V-D).
+func (p *Pool) OldestEpochWithPages() (uint64, bool) {
+	var oldest uint64
+	found := false
+	for _, info := range p.pages {
+		if !found || info.epoch < oldest {
+			oldest = info.epoch
+			found = true
+		}
+	}
+	return oldest, found
+}
+
+// PagesOfEpoch returns the bases of pages holding the given epoch's versions.
+func (p *Pool) PagesOfEpoch(epoch uint64) []uint64 {
+	var out []uint64
+	for base, info := range p.pages {
+		if info.epoch == epoch {
+			out = append(out, base)
+		}
+	}
+	return out
+}
+
+// EpochOf returns the epoch owning the page containing nvmAddr.
+func (p *Pool) EpochOf(nvmAddr uint64) (uint64, bool) {
+	info := p.pages[nvmAddr&^uint64(p.pageSize-1)]
+	if info == nil {
+		return 0, false
+	}
+	return info.epoch, true
+}

@@ -1,0 +1,244 @@
+// Package omc implements NVOverlay's Multi-snapshot NVM Mapping backend
+// (paper §V): the Overlay Memory Controller with its per-epoch mapping
+// tables, the persistent five-level Master Table, the NVM page buffer pool
+// with bitmap allocation and version compaction, the distributed
+// recoverable-epoch protocol, and the optional battery-backed OMC buffer.
+package omc
+
+import "fmt"
+
+// Radix tree geometry: 48-bit physical addresses are mapped at cache-line
+// granularity. The top four levels consume 9 bits each (bits 47..12, exactly
+// like x86-64 page tables); the fifth (leaf) level is indexed by address
+// bits 11..6, mapping the 64 cache lines of a 4 KB page (paper Fig 10).
+const (
+	innerFanout = 512
+	leafFanout  = 64
+
+	innerNodeBytes = innerFanout * 8
+	leafNodeBytes  = leafFanout * 8
+)
+
+type leaf struct {
+	present uint64 // bitmask over the 64 line slots
+	vals    [leafFanout]uint64
+	nvmAddr uint64 // metadata home of this node (for bank mapping)
+}
+
+type inner struct {
+	children [innerFanout]interface{} // *inner or *leaf; nil when absent
+	nvmAddr  uint64
+}
+
+// Table is a five-level radix tree mapping line addresses to NVM locations.
+// Per-epoch tables are volatile (no persist hook); the Master Table is
+// persistent and reports every 8-byte mutation through the persist hook so
+// NVM metadata traffic can be accounted (paper Fig 12's metadata writes).
+type Table struct {
+	root    *inner
+	entries int
+	inners  int
+	leaves  int
+
+	// persist, when non-nil, is invoked for every 8-byte slot written on
+	// NVM: new-node parent pointers and leaf value slots.
+	persist func(nvmAddr uint64, size int)
+	// metaAlloc hands out NVM addresses for newly allocated nodes.
+	metaAlloc func(size int) uint64
+}
+
+// NewEpochTable returns a volatile per-epoch mapping table.
+func NewEpochTable() *Table {
+	return &Table{}
+}
+
+// NewMasterTable returns a persistent table whose metadata writes are
+// reported through persist; node homes are assigned by metaAlloc.
+func NewMasterTable(metaAlloc func(size int) uint64, persist func(nvmAddr uint64, size int)) *Table {
+	return &Table{persist: persist, metaAlloc: metaAlloc}
+}
+
+func levelIndex(lineAddr uint64, level int) int {
+	// level 0..3 are the 9-bit inner levels (bits 47..12), level 4 the leaf.
+	switch {
+	case level < 4:
+		shift := uint(12 + 9*(3-level))
+		return int((lineAddr >> shift) & (innerFanout - 1))
+	default:
+		return int((lineAddr >> 6) & (leafFanout - 1))
+	}
+}
+
+func (t *Table) allocMeta(size int) uint64 {
+	if t.metaAlloc == nil {
+		return 0
+	}
+	return t.metaAlloc(size)
+}
+
+func (t *Table) persistWrite(addr uint64, size int) {
+	if t.persist != nil {
+		t.persist(addr, size)
+	}
+}
+
+// Insert maps lineAddr to nvmAddr, returning the previously mapped location
+// if one existed. nvmAddr must be non-zero.
+func (t *Table) Insert(lineAddr, nvmAddr uint64) (old uint64, replaced bool) {
+	if nvmAddr == 0 {
+		panic("omc: Insert with zero nvmAddr")
+	}
+	if t.root == nil {
+		t.root = &inner{nvmAddr: t.allocMeta(innerNodeBytes)}
+		t.inners++
+	}
+	n := t.root
+	for level := 1; level <= 4; level++ {
+		idx := levelIndex(lineAddr, level-1)
+		child := n.children[idx]
+		if child == nil {
+			var created interface{}
+			if level == 4 {
+				lf := &leaf{nvmAddr: t.allocMeta(leafNodeBytes)}
+				t.leaves++
+				created = lf
+			} else {
+				in := &inner{nvmAddr: t.allocMeta(innerNodeBytes)}
+				t.inners++
+				created = in
+			}
+			n.children[idx] = created
+			// Writing the parent pointer is one 8-byte persistent write.
+			t.persistWrite(n.nvmAddr+uint64(idx*8), 8)
+			child = created
+		}
+		if level == 4 {
+			lf := child.(*leaf)
+			slot := levelIndex(lineAddr, 4)
+			bit := uint64(1) << slot
+			if lf.present&bit != 0 {
+				old, replaced = lf.vals[slot], true
+			} else {
+				t.entries++
+			}
+			lf.present |= bit
+			lf.vals[slot] = nvmAddr
+			t.persistWrite(lf.nvmAddr+uint64(slot*8), 8)
+			return old, replaced
+		}
+		n = child.(*inner)
+	}
+	panic("unreachable")
+}
+
+// Lookup returns the NVM location mapped for lineAddr.
+func (t *Table) Lookup(lineAddr uint64) (uint64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	n := t.root
+	for level := 1; level <= 4; level++ {
+		child := n.children[levelIndex(lineAddr, level-1)]
+		if child == nil {
+			return 0, false
+		}
+		if level == 4 {
+			lf := child.(*leaf)
+			slot := levelIndex(lineAddr, 4)
+			if lf.present&(uint64(1)<<slot) == 0 {
+				return 0, false
+			}
+			return lf.vals[slot], true
+		}
+		n = child.(*inner)
+	}
+	return 0, false
+}
+
+// Delete unmaps lineAddr, returning the previous mapping. Empty nodes are
+// not reclaimed (matching hardware tables, which are append-mostly).
+func (t *Table) Delete(lineAddr uint64) (uint64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	n := t.root
+	for level := 1; level <= 4; level++ {
+		child := n.children[levelIndex(lineAddr, level-1)]
+		if child == nil {
+			return 0, false
+		}
+		if level == 4 {
+			lf := child.(*leaf)
+			slot := levelIndex(lineAddr, 4)
+			bit := uint64(1) << slot
+			if lf.present&bit == 0 {
+				return 0, false
+			}
+			old := lf.vals[slot]
+			lf.present &^= bit
+			lf.vals[slot] = 0
+			t.entries--
+			t.persistWrite(lf.nvmAddr+uint64(slot*8), 8)
+			return old, true
+		}
+		n = child.(*inner)
+	}
+	return 0, false
+}
+
+// Entries returns the number of live mappings.
+func (t *Table) Entries() int { return t.entries }
+
+// Bytes returns the storage footprint of the table's nodes. For per-epoch
+// tables this is DRAM; for the Master Table it is persistent NVM metadata
+// (the quantity plotted in paper Fig 13).
+func (t *Table) Bytes() int64 {
+	return int64(t.inners)*innerNodeBytes + int64(t.leaves)*leafNodeBytes
+}
+
+// Nodes returns (inner, leaf) node counts.
+func (t *Table) Nodes() (int, int) { return t.inners, t.leaves }
+
+// LeafOccupancy returns the mean fraction of used slots per leaf node, the
+// statistic behind the paper's yada outlier discussion (§VII-C).
+func (t *Table) LeafOccupancy() float64 {
+	if t.leaves == 0 {
+		return 0
+	}
+	return float64(t.entries) / float64(t.leaves*leafFanout)
+}
+
+// ForEach visits every mapping in ascending address order.
+func (t *Table) ForEach(fn func(lineAddr, nvmAddr uint64)) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *inner, level int, prefix uint64)
+	walk = func(n *inner, level int, prefix uint64) {
+		for i := 0; i < innerFanout; i++ {
+			child := n.children[i]
+			if child == nil {
+				continue
+			}
+			shift := uint(12 + 9*(3-level))
+			p := prefix | uint64(i)<<shift
+			if level == 3 {
+				lf := child.(*leaf)
+				for s := 0; s < leafFanout; s++ {
+					if lf.present&(uint64(1)<<s) != 0 {
+						fn(p|uint64(s)<<6, lf.vals[s])
+					}
+				}
+			} else {
+				walk(child.(*inner), level+1, p)
+			}
+		}
+	}
+	walk(t.root, 0, 0)
+}
+
+// String summarises the table.
+func (t *Table) String() string {
+	return fmt.Sprintf("table{entries=%d inners=%d leaves=%d bytes=%d}",
+		t.entries, t.inners, t.leaves, t.Bytes())
+}

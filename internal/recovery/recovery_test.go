@@ -1,0 +1,169 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/omc"
+	"repro/internal/sim"
+)
+
+func buildGroup(t *testing.T, retain bool) (*omc.Group, map[uint64]uint64) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.CoresPerVD = 2
+	nvm := mem.NewNVM(&cfg)
+	var opts []omc.Option
+	if retain {
+		opts = append(opts, omc.WithRetention())
+	}
+	g := omc.NewGroup(&cfg, nvm, 2, opts...)
+	golden := map[uint64]uint64{}
+	// Three epochs of versions; later epochs overwrite some addresses.
+	for e := uint64(1); e <= 3; e++ {
+		for i := uint64(0); i < 20; i++ {
+			addr := (i % (8 + e*4)) << 6 << 6 // overlapping ranges per epoch
+			data := e*1000 + i
+			g.ReceiveVersion(omc.Version{Addr: addr, Epoch: e, Data: data}, 0)
+			golden[addr] = data // within an epoch, last write wins; epochs ascend
+		}
+	}
+	g.Seal(0)
+	return g, golden
+}
+
+func TestRecoverMatchesGolden(t *testing.T) {
+	g, golden := buildGroup(t, false)
+	img, rep := Recover(g)
+	if rep.RecEpoch != 3 {
+		t.Fatalf("rec epoch = %d", rep.RecEpoch)
+	}
+	if rep.LinesRestored != len(golden) || rep.LatencyCycles == 0 {
+		t.Fatalf("report = %+v, golden lines %d", rep, len(golden))
+	}
+	if err := Verify(img, golden); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsDivergence(t *testing.T) {
+	img := map[uint64]uint64{0x40: 1, 0x80: 2}
+	if err := Verify(img, map[uint64]uint64{0x40: 1, 0x80: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(img, map[uint64]uint64{0x40: 1}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := Verify(img, map[uint64]uint64{0x40: 1, 0x80: 9}); err == nil {
+		t.Fatal("value mismatch accepted")
+	}
+	if err := Verify(map[uint64]uint64{0x40: 1, 0xC0: 2}, map[uint64]uint64{0x40: 1, 0x80: 2}); err == nil {
+		t.Fatal("missing line accepted")
+	}
+}
+
+func TestReplication(t *testing.T) {
+	g, golden := buildGroup(t, true)
+	r := NewReplica()
+	shipped := Replicate(g, r)
+	if shipped == 0 {
+		t.Fatal("no epochs shipped")
+	}
+	if r.AppliedEpoch() != g.RecEpoch() {
+		t.Fatalf("replica at epoch %d, primary rec-epoch %d", r.AppliedEpoch(), g.RecEpoch())
+	}
+	if err := Verify(r.Image(), golden); err != nil {
+		t.Fatalf("replica image diverged: %v", err)
+	}
+	if r.BytesReceived == 0 {
+		t.Fatal("no bytes on the wire")
+	}
+}
+
+func TestReplicaOutOfOrderDeltas(t *testing.T) {
+	r := NewReplica()
+	r.Receive(2, map[uint64]uint64{0x40: 20})
+	r.Receive(1, map[uint64]uint64{0x40: 10, 0x80: 11})
+	r.Receive(3, map[uint64]uint64{0x80: 30})
+	if n := r.ReplayTo(2); n != 2 {
+		t.Fatalf("replayed %d epochs, want 2", n)
+	}
+	if r.Image()[0x40] != 20 || r.Image()[0x80] != 11 {
+		t.Fatalf("image after epoch 2 = %v", r.Image())
+	}
+	if n := r.ReplayTo(3); n != 1 {
+		t.Fatalf("replayed %d, want 1", n)
+	}
+	if r.Image()[0x80] != 30 {
+		t.Fatal("epoch 3 not applied")
+	}
+	// Replays are idempotent.
+	if n := r.ReplayTo(3); n != 0 {
+		t.Fatalf("idempotent replay applied %d epochs", n)
+	}
+}
+
+func TestHistoryAndTimeTravel(t *testing.T) {
+	g, _ := buildGroup(t, true)
+	addr := uint64(0) // written in every epoch (i=0 maps to 0)
+	hist := History(g, addr)
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i-1].Epoch >= hist[i].Epoch {
+			t.Fatal("history not in epoch order")
+		}
+	}
+	if d, e, ok := TimeTravel(g, addr, 2); !ok || e != 2 || d != hist[1].Data {
+		t.Fatalf("time travel = %d,%d,%v", d, e, ok)
+	}
+}
+
+// TestEndToEndCrashRecovery drives the full NVOverlay stack with a real
+// workload-style store sequence, "crashes" (drains and seals), recovers,
+// and verifies the image matches the final memory contents.
+func TestEndToEndCrashRecovery(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	cfg.CoresPerVD = 2
+	cfg.LLCSlices = 2
+	cfg.L1Size = 8 * 2 * 64
+	cfg.L1Ways = 2
+	cfg.L2Size = 16 * 2 * 64
+	cfg.L2Ways = 2
+	cfg.LLCSize = 2 * 8 * 4 * 64
+	cfg.LLCWays = 4
+	cfg.EpochSize = 64
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nvo := core.New(&cfg, core.WithOMCs(2))
+	clocks := sim.NewClocks(cfg.Cores)
+	nvo.Bind(clocks)
+	r := sim.NewRNG(3)
+	golden := map[uint64]uint64{}
+	var token uint64
+	for i := 0; i < 20000; i++ {
+		tid := r.Intn(cfg.Cores)
+		addr := uint64(r.Intn(400) * 64)
+		if r.Intn(2) == 0 {
+			token++
+			lat := nvo.Access(tid, addr, true, token)
+			clocks.Advance(tid, lat)
+			golden[addr] = token
+		} else {
+			clocks.Advance(tid, nvo.Access(tid, addr, false, 0))
+		}
+	}
+	nvo.Drain(clocks.Max())
+	img, rep := Recover(nvo.Group())
+	if err := Verify(img, golden); err != nil {
+		t.Fatal(err)
+	}
+	if rep.LinesRestored != len(golden) {
+		t.Fatalf("restored %d, want %d", rep.LinesRestored, len(golden))
+	}
+}

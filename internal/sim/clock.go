@@ -1,0 +1,85 @@
+package sim
+
+// Clocks tracks per-thread simulated time. The trace driver always steps the
+// thread whose clock is smallest (conservative parallel-discrete-event
+// interleaving), which both serialises the hierarchy and yields a realistic
+// interleaving of the 16 worker threads.
+type Clocks struct {
+	now []uint64
+}
+
+// NewClocks returns n thread clocks, all at zero.
+func NewClocks(n int) *Clocks {
+	return &Clocks{now: make([]uint64, n)}
+}
+
+// Len returns the number of threads tracked.
+func (c *Clocks) Len() int { return len(c.now) }
+
+// Now returns thread tid's local time.
+func (c *Clocks) Now(tid int) uint64 { return c.now[tid] }
+
+// Advance moves thread tid forward by delta cycles.
+func (c *Clocks) Advance(tid int, delta uint64) { c.now[tid] += delta }
+
+// AdvanceTo moves thread tid forward to at least t.
+func (c *Clocks) AdvanceTo(tid int, t uint64) {
+	if c.now[tid] < t {
+		c.now[tid] = t
+	}
+}
+
+// Min returns the id of the thread with the smallest clock (ties broken by
+// lowest id, keeping the interleaving deterministic).
+func (c *Clocks) Min() int {
+	best := 0
+	for i := 1; i < len(c.now); i++ {
+		if c.now[i] < c.now[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MinAmong returns the live thread with the smallest clock, or -1 when no
+// thread is live.
+func (c *Clocks) MinAmong(live []bool) int {
+	best := -1
+	for i := range c.now {
+		if !live[i] {
+			continue
+		}
+		if best == -1 || c.now[i] < c.now[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Max returns the largest clock value; this is the run's wall-clock cycle
+// count (all threads join at the end).
+func (c *Clocks) Max() uint64 {
+	var m uint64
+	for _, t := range c.now {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// StallGroup advances every thread in [lo,hi) to at least t plus cost. It
+// models a versioned domain draining and stalling its pipelines, e.g. during
+// a coherence-driven epoch advance.
+func (c *Clocks) StallGroup(lo, hi int, cost uint64) {
+	var t uint64
+	for i := lo; i < hi; i++ {
+		if c.now[i] > t {
+			t = c.now[i]
+		}
+	}
+	t += cost
+	for i := lo; i < hi; i++ {
+		c.now[i] = t
+	}
+}

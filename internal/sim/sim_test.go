@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.VDs() != 8 {
+		t.Fatalf("VDs = %d, want 8", cfg.VDs())
+	}
+	if cfg.VDOf(0) != 0 || cfg.VDOf(1) != 0 || cfg.VDOf(2) != 1 || cfg.VDOf(15) != 7 {
+		t.Fatal("VDOf mapping wrong")
+	}
+	if cfg.LinesPerPage() != 64 {
+		t.Fatalf("LinesPerPage = %d", cfg.LinesPerPage())
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.CoresPerVD = 3 }, // does not divide 16
+		func(c *Config) { c.LLCSlices = 0 },
+		func(c *Config) { c.LineSize = 48 },
+		func(c *Config) { c.L1Size = 1000 },
+		func(c *Config) { c.L2Size = 1000 },
+		func(c *Config) { c.LLCSize = 12345 },
+		func(c *Config) { c.EpochSize = 0 },
+		func(c *Config) { c.PageSize = 32 },
+		func(c *Config) { c.SuperBlock = 3 },
+		func(c *Config) { c.NVMBanks = 0 },
+		func(c *Config) { c.WrapEpochs = true; c.WrapWidth = 2 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestLineAndPageAddr(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.LineAddr(0x12345); got != 0x12340 {
+		t.Fatalf("LineAddr = %#x", got)
+	}
+	if got := cfg.PageAddr(0x12345); got != 0x12000 {
+		t.Fatalf("PageAddr = %#x", got)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Uint64n(7); v >= 7 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	r := NewRNG(1)
+	mustPanic(t, func() { r.Intn(0) })
+	mustPanic(t, func() { r.Uint64n(0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: Perm always returns a permutation of [0,n).
+func TestRNGPermProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := NewRNG(seed)
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	xs := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := uint64(0)
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(xs)
+	var got uint64
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatal("shuffle changed multiset")
+	}
+}
+
+func TestClocksBasics(t *testing.T) {
+	c := NewClocks(4)
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Advance(1, 10)
+	c.Advance(2, 5)
+	if c.Min() != 0 {
+		t.Fatalf("min = %d, want 0", c.Min())
+	}
+	c.Advance(0, 20)
+	c.Advance(3, 30)
+	if c.Min() != 2 {
+		t.Fatalf("min = %d, want 2", c.Min())
+	}
+	if c.Max() != 30 {
+		t.Fatalf("max = %d", c.Max())
+	}
+	c.AdvanceTo(2, 3) // no-op, behind current time
+	if c.Now(2) != 5 {
+		t.Fatal("AdvanceTo moved clock backwards")
+	}
+	c.AdvanceTo(2, 50)
+	if c.Now(2) != 50 {
+		t.Fatal("AdvanceTo did not advance")
+	}
+}
+
+func TestClocksMinAmong(t *testing.T) {
+	c := NewClocks(3)
+	c.Advance(0, 5)
+	c.Advance(1, 1)
+	c.Advance(2, 9)
+	live := []bool{true, false, true}
+	if got := c.MinAmong(live); got != 0 {
+		t.Fatalf("MinAmong = %d, want 0", got)
+	}
+	if got := c.MinAmong([]bool{false, false, false}); got != -1 {
+		t.Fatalf("MinAmong all-dead = %d, want -1", got)
+	}
+}
+
+func TestClocksStallGroup(t *testing.T) {
+	c := NewClocks(4)
+	c.Advance(0, 10)
+	c.Advance(1, 20)
+	c.StallGroup(0, 2, 100)
+	if c.Now(0) != 120 || c.Now(1) != 120 {
+		t.Fatalf("group clocks = %d,%d, want 120,120", c.Now(0), c.Now(1))
+	}
+	if c.Now(2) != 0 || c.Now(3) != 0 {
+		t.Fatal("StallGroup touched threads outside the group")
+	}
+}
+
+// Property: Min always returns an index whose clock is <= all others.
+func TestClocksMinProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewClocks(len(vals))
+		for i, v := range vals {
+			c.Advance(i, uint64(v))
+		}
+		m := c.Min()
+		for i := range vals {
+			if c.Now(m) > c.Now(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package stats provides counters, named statistic sets, distributions and
+// time series used by every simulator component. All containers are plain
+// (non-atomic): the simulation engine serialises accesses, so no locking is
+// required on the hot path.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of integer counters. Counters are created lazily
+// on first Add/Inc. Iteration order is stable (sorted by name) so dumps are
+// deterministic.
+type Set struct {
+	name     string
+	counters map[string]int64
+}
+
+// NewSet returns an empty counter set with the given name.
+func NewSet(name string) *Set {
+	return &Set{name: name, counters: make(map[string]int64)}
+}
+
+// Name returns the name the set was created with.
+func (s *Set) Name() string { return s.name }
+
+// Add increments counter key by delta, creating it if absent.
+func (s *Set) Add(key string, delta int64) {
+	s.counters[key] += delta
+}
+
+// Inc increments counter key by one.
+func (s *Set) Inc(key string) { s.Add(key, 1) }
+
+// Get returns the current value of counter key (zero if absent).
+func (s *Set) Get(key string) int64 { return s.counters[key] }
+
+// Keys returns all counter names in sorted order.
+func (s *Set) Keys() []string {
+	keys := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge adds every counter of other into s.
+func (s *Set) Merge(other *Set) {
+	for k, v := range other.counters {
+		s.counters[k] += v
+	}
+}
+
+// Reset zeroes all counters but keeps the set's identity.
+func (s *Set) Reset() {
+	s.counters = make(map[string]int64)
+}
+
+// String renders the set as "name{k1=v1 k2=v2 ...}" with sorted keys.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, k := range s.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, s.counters[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Dump renders one counter per line, sorted, with the given indent prefix.
+func (s *Set) Dump(indent string) string {
+	var b strings.Builder
+	for _, k := range s.Keys() {
+		fmt.Fprintf(&b, "%s%-40s %d\n", indent, k, s.counters[k])
+	}
+	return b.String()
+}
+
+// Distribution tracks min/max/sum/count of an integer-valued sample stream.
+type Distribution struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// Observe records one sample.
+func (d *Distribution) Observe(v int64) {
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.Count == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+}
+
+// Mean returns the arithmetic mean of the observed samples (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// String renders the distribution compactly.
+func (d *Distribution) String() string {
+	return fmt.Sprintf("n=%d min=%d max=%d mean=%.2f", d.Count, d.Min, d.Max, d.Mean())
+}

@@ -1,0 +1,261 @@
+// Package trace provides the glue between workloads and snapshotting
+// schemes: a tracked heap that real algorithms allocate from and whose
+// loads/stores become the simulated access stream, the Scheme interface all
+// six designs implement, and the driver that interleaves the 16 worker
+// threads by smallest local clock.
+package trace
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Op is one memory access produced by a workload.
+type Op struct {
+	Addr  uint64
+	Write bool
+	Data  uint64 // payload token for stores
+}
+
+// Scheme is a complete snapshotting design under test: NVOverlay or one of
+// the five baselines. Access returns the latency charged to the issuing
+// thread; schemes stall whole thread groups (epoch flushes, VD drains)
+// through the bound clock set.
+type Scheme interface {
+	Name() string
+	// Bind attaches the driver's thread clocks before the run starts.
+	Bind(clocks *sim.Clocks)
+	// Access performs one memory operation at the thread's current time.
+	Access(tid int, addr uint64, write bool, data uint64) uint64
+	// Drain flushes all in-flight snapshot state at end of run.
+	Drain(now uint64)
+	// Stats returns the scheme's counters.
+	Stats() *stats.Set
+	// NVM exposes the scheme's NVM device for write-amplification and
+	// bandwidth accounting.
+	NVM() *mem.NVM
+}
+
+// Heap is the tracked address space workloads run on. Allocation is a bump
+// allocator over the simulated physical space; every Load/Store is recorded
+// and later replayed into the scheme by the driver. Payload tokens are
+// auto-generated so recovery tests can verify snapshot contents.
+type Heap struct {
+	cfg   *sim.Config
+	brk   uint64
+	ops   []Op
+	token uint64
+
+	// TotalAllocated tracks the heap footprint.
+	TotalAllocated int64
+}
+
+// HeapBase is where workload allocations start in the physical space.
+const HeapBase uint64 = 1 << 30
+
+// NewHeap creates an empty heap.
+func NewHeap(cfg *sim.Config) *Heap {
+	return &Heap{cfg: cfg, brk: HeapBase}
+}
+
+// Alloc reserves size bytes and returns the base address. Allocations are
+// line-aligned when size >= one line, 8-byte aligned otherwise, mimicking a
+// real allocator's behaviour for cache-conscious structures.
+func (h *Heap) Alloc(size int) uint64 {
+	if size <= 0 {
+		panic("trace: Alloc with non-positive size")
+	}
+	align := uint64(8)
+	if size >= h.cfg.LineSize {
+		align = uint64(h.cfg.LineSize)
+	}
+	h.brk = (h.brk + align - 1) &^ (align - 1)
+	addr := h.brk
+	h.brk += uint64(size)
+	h.TotalAllocated += int64(size)
+	return addr
+}
+
+// Load records a read of the word at addr.
+func (h *Heap) Load(addr uint64) {
+	h.ops = append(h.ops, Op{Addr: addr})
+}
+
+// Store records a write of the word at addr and returns the token written.
+func (h *Heap) Store(addr uint64) uint64 {
+	h.token++
+	h.ops = append(h.ops, Op{Addr: addr, Write: true, Data: h.token})
+	return h.token
+}
+
+// LoadRange records reads covering [addr, addr+size), one per cache line.
+func (h *Heap) LoadRange(addr uint64, size int) {
+	for a := h.cfg.LineAddr(addr); a < addr+uint64(size); a += uint64(h.cfg.LineSize) {
+		h.Load(a)
+	}
+}
+
+// StoreRange records writes covering [addr, addr+size), one per cache line.
+func (h *Heap) StoreRange(addr uint64, size int) {
+	for a := h.cfg.LineAddr(addr); a < addr+uint64(size); a += uint64(h.cfg.LineSize) {
+		h.Store(a)
+	}
+}
+
+// Drain removes and returns the accesses recorded since the last call.
+func (h *Heap) Drain() []Op {
+	ops := h.ops
+	h.ops = h.ops[len(h.ops):]
+	return ops
+}
+
+// Pending returns the number of recorded, undelivered accesses.
+func (h *Heap) Pending() int { return len(h.ops) }
+
+// Footprint returns the bytes allocated so far.
+func (h *Heap) Footprint() int64 { return h.TotalAllocated }
+
+// Workload is a multithreaded benchmark. Step executes one operation for
+// the given thread against the shared state, recording its memory accesses
+// on the heap; it returns false when the thread has no more work.
+type Workload interface {
+	Name() string
+	// Setup builds initial state (untimed; its accesses are discarded).
+	Setup(h *Heap, rng *sim.RNG)
+	// Step runs one operation for thread tid.
+	Step(tid int, h *Heap, rng *sim.RNG) bool
+}
+
+// Summary reports one driver run.
+type Summary struct {
+	Scheme    string
+	Workload  string
+	Cycles    uint64 // wall-clock: max thread clock at completion
+	Accesses  uint64
+	Stores    uint64
+	Ops       uint64 // workload operations completed
+	NVMBytes  int64
+	DataBytes int64
+	LogBytes  int64
+	MetaBytes int64
+	CtxBytes  int64
+	Footprint int64
+	// Final holds the last token written per line address (the golden
+	// image used by recovery verification).
+	Final map[uint64]uint64
+}
+
+// Driver interleaves worker threads over a scheme: the thread with the
+// smallest local clock executes its next workload operation, and each of
+// the operation's accesses advances that thread's clock by the access
+// latency plus a fixed per-access pipeline cost.
+type Driver struct {
+	cfg     *sim.Config
+	scheme  Scheme
+	wl      Workload
+	heap    *Heap
+	clocks  *sim.Clocks
+	rngs    []*sim.RNG
+	final   map[uint64]uint64
+	issued  uint64
+	target  uint64
+	perOpNs uint64
+}
+
+// pipelineCost is the non-memory work charged per access (a 4-wide core
+// retires a handful of ALU ops between memory references).
+const pipelineCost = 2
+
+// NewDriver wires a workload to a scheme. maxAccesses bounds the run (the
+// paper bounds runs at 100M instructions/thread); progress for bandwidth
+// time series is measured against it.
+func NewDriver(cfg *sim.Config, scheme Scheme, wl Workload, maxAccesses uint64) *Driver {
+	d := &Driver{
+		cfg:    cfg,
+		scheme: scheme,
+		wl:     wl,
+		heap:   NewHeap(cfg),
+		clocks: sim.NewClocks(cfg.Cores),
+		rngs:   make([]*sim.RNG, cfg.Cores),
+		final:  make(map[uint64]uint64),
+		target: maxAccesses,
+	}
+	for i := range d.rngs {
+		d.rngs[i] = sim.NewRNG(cfg.Seed + int64(i)*7919)
+	}
+	scheme.Bind(d.clocks)
+	scheme.NVM().SetProgress(func() float64 {
+		if d.target == 0 {
+			return 0
+		}
+		return float64(d.issued) / float64(d.target)
+	})
+	return d
+}
+
+// Clocks exposes the thread clocks (tests use this).
+func (d *Driver) Clocks() *sim.Clocks { return d.clocks }
+
+// Heap exposes the tracked heap.
+func (d *Driver) Heap() *Heap { return d.heap }
+
+// Run executes the workload to completion or until maxAccesses, drains the
+// scheme, and returns the run summary.
+func (d *Driver) Run() Summary {
+	setupRNG := sim.NewRNG(d.cfg.Seed)
+	d.wl.Setup(d.heap, setupRNG)
+	d.heap.Drain() // setup accesses are untimed
+
+	live := make([]bool, d.cfg.Cores)
+	for i := range live {
+		live[i] = true
+	}
+	var ops, stores uint64
+	for d.issued < d.target {
+		tid := d.clocks.MinAmong(live)
+		if tid < 0 {
+			break
+		}
+		if !d.wl.Step(tid, d.heap, d.rngs[tid]) {
+			live[tid] = false
+			d.heap.Drain()
+			continue
+		}
+		ops++
+		for _, op := range d.heap.Drain() {
+			lat := d.scheme.Access(tid, op.Addr, op.Write, op.Data)
+			d.clocks.Advance(tid, lat+pipelineCost)
+			d.issued++
+			if op.Write {
+				stores++
+				d.final[d.cfg.LineAddr(op.Addr)] = op.Data
+			}
+			if d.issued%256 == 0 {
+				d.scheme.NVM().Tick(d.clocks.Max())
+			}
+		}
+	}
+	end := d.clocks.Max()
+	// Teardown (drain + seal) is not part of the run's bandwidth profile.
+	d.scheme.NVM().Tick(end)
+	d.scheme.NVM().SetProgress(nil)
+	d.scheme.Drain(end)
+
+	nvm := d.scheme.NVM()
+	return Summary{
+		Scheme:    d.scheme.Name(),
+		Workload:  d.wl.Name(),
+		Cycles:    d.clocks.Max(),
+		Accesses:  d.issued,
+		Stores:    stores,
+		Ops:       ops,
+		NVMBytes:  nvm.TotalBytes(),
+		DataBytes: nvm.Bytes(mem.WData),
+		LogBytes:  nvm.Bytes(mem.WLog),
+		MetaBytes: nvm.Bytes(mem.WMeta),
+		CtxBytes:  nvm.Bytes(mem.WContext),
+		Footprint: d.heap.Footprint(),
+		Final:     d.final,
+	}
+}

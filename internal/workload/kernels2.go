@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"repro/internal/ds"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Vacation re-implements STAMP vacation's travel-reservation behaviour:
+// four shared red-black-tree tables (cars, flights, rooms, customers);
+// each transaction performs several queries and a couple of updates across
+// random tables — pointer-chasing with moderate sharing.
+type Vacation struct {
+	th     *threads
+	tables [4]*ds.RBTree
+}
+
+// NewVacation builds the benchmark.
+func NewVacation() *Vacation { return &Vacation{th: newThreads(opBudget)} }
+
+// Name implements trace.Workload.
+func (w *Vacation) Name() string { return "vacation" }
+
+// Setup implements trace.Workload: pre-populate each relation.
+func (w *Vacation) Setup(h *trace.Heap, rng *sim.RNG) {
+	for i := range w.tables {
+		w.tables[i] = ds.NewRBTree(h)
+		for j := 0; j < 8192; j++ {
+			w.tables[i].Insert(rng.Uint64()%65536, rng.Uint64())
+		}
+	}
+}
+
+// Step implements trace.Workload: one reservation transaction.
+func (w *Vacation) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
+	if !w.th.next(tid) {
+		return false
+	}
+	// Queries: price lookups across 2-4 relations.
+	nq := 2 + rng.Intn(3)
+	for i := 0; i < nq; i++ {
+		tab := w.tables[rng.Intn(4)]
+		tab.Get(rng.Uint64() % 65536)
+	}
+	// Updates: reserve (update/insert) in 1-2 relations.
+	nu := 1 + rng.Intn(2)
+	for i := 0; i < nu; i++ {
+		tab := w.tables[rng.Intn(4)]
+		tab.Insert(rng.Uint64()%65536, rng.Uint64())
+	}
+	return true
+}
+
+// Intruder re-implements STAMP intruder's packet-reassembly behaviour: a
+// shared fragment map keyed by flow, per-flow fragment accumulation, and a
+// detector scan over each completed flow's reassembled bytes.
+type Intruder struct {
+	th       *threads
+	frags    *ds.HashTable
+	flows    uint64 // per-flow fragment counters (shared array)
+	nflows   int
+	assembly uint64 // reassembly buffers
+	flowSize int
+}
+
+// NewIntruder builds the benchmark.
+func NewIntruder() *Intruder {
+	return &Intruder{th: newThreads(opBudget), nflows: 4096, flowSize: 512}
+}
+
+// Name implements trace.Workload.
+func (w *Intruder) Name() string { return "intruder" }
+
+// Setup implements trace.Workload.
+func (w *Intruder) Setup(h *trace.Heap, rng *sim.RNG) {
+	w.frags = ds.NewHashTable(h, 4096)
+	w.flows = h.Alloc(w.nflows * 8)
+	w.assembly = h.Alloc(w.nflows * w.flowSize)
+}
+
+// Step implements trace.Workload: process one packet fragment.
+func (w *Intruder) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
+	if !w.th.next(tid) {
+		return false
+	}
+	flow := rng.Intn(w.nflows)
+	frag := rng.Intn(8)
+	// Insert the fragment into the shared map.
+	w.frags.Insert(uint64(flow)<<8|uint64(frag), rng.Uint64())
+	// Bump the flow's fragment counter.
+	h.Load(w.flows + uint64(flow*8))
+	h.Store(w.flows + uint64(flow*8))
+	// Copy the fragment payload into the reassembly buffer.
+	off := w.assembly + uint64(flow*w.flowSize+frag*64)
+	h.StoreRange(off, 64)
+	// One in eight packets completes a flow: the detector scans it.
+	if frag == 7 {
+		h.LoadRange(w.assembly+uint64(flow*w.flowSize), w.flowSize)
+	}
+	return true
+}
+
+// Genome re-implements STAMP genome over a *real* synthetic genome: Setup
+// packs a random base sequence two bits per nucleotide; sequencing
+// produces overlapping windows ("reads") sampled from it. Phase 1 dedups
+// segments through the shared hash table (reading the actual packed
+// sequence to extract each window); phase 2 matches overlaps by probing
+// the table with each unique segment's suffix half and recording the
+// chain links — the Reed–de-Bruijn-style reassembly STAMP performs.
+type Genome struct {
+	th    *threads
+	bases []uint64 // packed 2-bit nucleotides, 32 per word
+	nSeq  int      // sequence length in bases
+	k     int      // segment length in bases
+
+	basesA, linksA uint64
+	segments       *ds.HashTable
+	inserted       []int
+	segPool        []uint64 // unique segment start offsets for phase 2
+	// Matches counts successful overlap links (diagnostics).
+	Matches int
+}
+
+// NewGenome builds the benchmark (1M-base genome, 32-base segments).
+func NewGenome() *Genome {
+	return &Genome{th: newThreads(opBudget), nSeq: 1 << 20, k: 32}
+}
+
+// Name implements trace.Workload.
+func (w *Genome) Name() string { return "genome" }
+
+// Setup implements trace.Workload.
+func (w *Genome) Setup(h *trace.Heap, rng *sim.RNG) {
+	w.bases = make([]uint64, w.nSeq/32)
+	for i := range w.bases {
+		w.bases[i] = rng.Uint64()
+	}
+	w.basesA = h.Alloc(len(w.bases) * 8)
+	w.linksA = h.Alloc(w.nSeq / w.k * 8)
+	w.segments = ds.NewHashTable(h, 1<<14)
+	w.inserted = make([]int, 64)
+	w.segPool = make([]uint64, 1<<14)
+	for i := range w.segPool {
+		w.segPool[i] = uint64(rng.Intn(w.nSeq - w.k))
+	}
+}
+
+// window extracts the k-base window starting at base offset off, reading
+// the packed words it spans.
+func (w *Genome) window(h *trace.Heap, off uint64) uint64 {
+	word := off / 32
+	words := uint64(w.k)/32 + 1
+	h.LoadRange(w.basesA+word*8, int(words)*8)
+	var v uint64
+	for i := uint64(0); i <= words && word+i < uint64(len(w.bases)); i++ {
+		v = v*0x9e3779b97f4a7c15 + w.bases[word+i]
+	}
+	return v ^ off%32 // shift phase folds into the key
+}
+
+// Step implements trace.Workload.
+func (w *Genome) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
+	if !w.th.next(tid) {
+		return false
+	}
+	if w.inserted[tid] < len(w.segPool)/16 {
+		// Phase 1: sequence a read and dedup it. Reads sample the pool with
+		// repetition, so duplicates really collapse in the table.
+		w.inserted[tid]++
+		off := w.segPool[rng.Intn(len(w.segPool))]
+		seg := w.window(h, off)
+		w.segments.Insert(seg, off)
+		return true
+	}
+	// Phase 2: probe the successor window (suffix overlap); a hit links
+	// the two segments in the assembly chain.
+	off := w.segPool[rng.Intn(len(w.segPool))]
+	next := off + uint64(w.k)/2
+	if next >= uint64(w.nSeq-w.k) {
+		next -= uint64(w.nSeq - w.k)
+	}
+	if _, ok := w.segments.Get(w.window(h, next)); ok {
+		w.Matches++
+		h.Store(w.linksA + (off/uint64(w.k))*8)
+	}
+	return true
+}
+
+// Bayes re-implements STAMP bayes' structure-learning behaviour: scans of
+// a read-mostly dataset to score candidate dependencies, with small writes
+// to a score cache and the learned network's adjacency structure.
+type Bayes struct {
+	th      *threads
+	records uint64
+	n, f    int
+	scores  uint64 // f*f*8 score cache
+	adj     uint64 // f*f bytes adjacency
+}
+
+// NewBayes builds the benchmark (64K records x 32 features).
+func NewBayes() *Bayes {
+	return &Bayes{th: newThreads(opBudget), n: 64 << 10, f: 32}
+}
+
+// Name implements trace.Workload.
+func (w *Bayes) Name() string { return "bayes" }
+
+// Setup implements trace.Workload.
+func (w *Bayes) Setup(h *trace.Heap, rng *sim.RNG) {
+	w.records = h.Alloc(w.n * w.f / 8) // bit-packed dataset
+	w.scores = h.Alloc(w.f * w.f * 8)
+	w.adj = h.Alloc(w.f * w.f)
+}
+
+// Step implements trace.Workload: score one candidate edge.
+func (w *Bayes) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
+	if !w.th.next(tid) {
+		return false
+	}
+	a := rng.Intn(w.f)
+	b := rng.Intn(w.f)
+	// Sample a strided subset of records for the (a,b) contingency counts.
+	start := rng.Intn(w.n / 64)
+	for i := 0; i < 48; i++ {
+		rec := (start + i*67) % w.n
+		h.Load(w.records + uint64(rec*w.f/8))
+	}
+	// Update the score cache and, occasionally, the learned structure.
+	h.Store(w.scores + uint64((a*w.f+b)*8))
+	if rng.Intn(8) == 0 {
+		h.Store(w.adj + uint64(a*w.f+b))
+	}
+	return true
+}
+
+// Yada re-implements STAMP yada's Delaunay-refinement behaviour: pick a
+// bad triangle, read its cavity's triangles, retriangulate by writing a
+// handful of new triangles, and track quality metadata in a shared
+// red-black tree. Triangle records are allocated with padding gaps, which
+// reproduces yada's sparse address usage (the paper's Fig 13 outlier:
+// low inner-node occupancy in the Master Table).
+type Yada struct {
+	th    *threads
+	tris  uint64
+	ntris int
+	pad   int
+	meta  *ds.RBTree
+	next  []int
+}
+
+// NewYada builds the benchmark.
+func NewYada() *Yada {
+	return &Yada{th: newThreads(opBudget), ntris: 1 << 17, pad: 320}
+}
+
+// Name implements trace.Workload.
+func (w *Yada) Name() string { return "yada" }
+
+// Setup implements trace.Workload.
+func (w *Yada) Setup(h *trace.Heap, rng *sim.RNG) {
+	// Each 64B triangle sits in its own padded slot: sparse pages.
+	w.tris = h.Alloc(w.ntris * w.pad)
+	w.meta = ds.NewRBTree(h)
+	for i := 0; i < 4096; i++ {
+		w.meta.Insert(rng.Uint64()%uint64(w.ntris), 1)
+	}
+	w.next = make([]int, 64)
+}
+
+func (w *Yada) tri(i int) uint64 { return w.tris + uint64(i*w.pad) }
+
+// Step implements trace.Workload: refine one bad triangle's cavity.
+func (w *Yada) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
+	if !w.th.next(tid) {
+		return false
+	}
+	center := rng.Intn(w.ntris)
+	// Read the cavity: the triangle and ~8 neighbours.
+	for i := 0; i < 8; i++ {
+		nb := (center + i*13) % w.ntris
+		h.LoadRange(w.tri(nb), 64)
+	}
+	// Retriangulate: write ~6 new triangles into fresh padded slots.
+	for i := 0; i < 6; i++ {
+		slot := (center + 7919*(w.next[tid]+i)) % w.ntris
+		h.StoreRange(w.tri(slot), 64)
+	}
+	w.next[tid] += 6
+	// Quality metadata.
+	w.meta.Insert(rng.Uint64()%uint64(w.ntris), uint64(center))
+	return true
+}
+
+var _ = []trace.Workload{(*Vacation)(nil), (*Intruder)(nil), (*Genome)(nil), (*Bayes)(nil), (*Yada)(nil)}
