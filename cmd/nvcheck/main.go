@@ -1,0 +1,133 @@
+// Command nvcheck runs the differential verification harness outside the
+// test suite: long soak sweeps over the regime rotation, or a single fully
+// specified trace (the mode every divergence reproducer uses). Exit status
+// is non-zero when any trace diverges from the golden model.
+//
+//	nvcheck -traces 5000 -seed 1          # soak: 5000 traces over the rotation
+//	nvcheck -seed 17 -cores 4 -steps 1400 # single trace, explicit parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/diffcheck"
+)
+
+// options is the parsed command line.
+type options struct {
+	traces int
+	seed   int64
+	every  int
+	single bool             // an explicit per-trace flag switches to single-trace mode
+	p      diffcheck.Params // single-trace parameters
+}
+
+// traceFlags are the per-trace parameter flags; setting any of them runs
+// one explicit trace instead of the regime sweep.
+var traceFlags = map[string]bool{
+	"cores": true, "vdcores": true, "steps": true, "lines": true,
+	"share": true, "write": true, "epoch": true, "pattern": true,
+	"omcs": true, "crash": true, "nowalker": true, "buffer": true,
+	"wrap": true, "wrapwidth": true,
+}
+
+// parseFlags decodes the command line without touching the process-global
+// flag set, so tests can drive it directly.
+func parseFlags(args []string, errOut io.Writer) (options, error) {
+	fs := flag.NewFlagSet("nvcheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	o := options{}
+	fs.IntVar(&o.traces, "traces", 600, "traces to sweep across the regime rotation")
+	fs.Int64Var(&o.seed, "seed", 1, "base seed (sweep) or trace seed (single mode)")
+	fs.IntVar(&o.every, "every", 100, "print progress every N traces")
+
+	base := diffcheck.RegimeParams(0, 0)
+	fs.IntVar(&o.p.Cores, "cores", base.Cores, "cores (single-trace mode)")
+	fs.IntVar(&o.p.CoresPerVD, "vdcores", base.CoresPerVD, "cores per versioned domain")
+	fs.IntVar(&o.p.Steps, "steps", base.Steps, "trace length in accesses")
+	fs.IntVar(&o.p.Lines, "lines", base.Lines, "working-set lines per region")
+	fs.IntVar(&o.p.SharePct, "share", base.SharePct, "percent of accesses to the shared region")
+	fs.IntVar(&o.p.WritePct, "write", base.WritePct, "percent of accesses that are stores")
+	fs.IntVar(&o.p.EpochSize, "epoch", base.EpochSize, "stores per epoch")
+	fs.StringVar(&o.p.Pattern, "pattern", base.Pattern, "access pattern: uniform, hotspot or stride")
+	fs.IntVar(&o.p.OMCs, "omcs", base.OMCs, "OMC address partitions")
+	fs.IntVar(&o.p.CrashPoints, "crash", base.CrashPoints, "swept mid-run crash probes")
+	nowalker := fs.Bool("nowalker", false, "disable the tag walker")
+	fs.BoolVar(&o.p.Buffered, "buffer", false, "enable the battery-backed OMC buffer")
+	fs.BoolVar(&o.p.Wrap, "wrap", false, "enable the epoch wrap-around protocol")
+	wrapWidth := fs.Uint("wrapwidth", 5, "epoch wire width in bits (with -wrap)")
+
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("nvcheck: unexpected arguments %v", fs.Args())
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if traceFlags[f.Name] {
+			o.single = true
+		}
+	})
+	o.p.Seed = o.seed
+	o.p.Walker = !*nowalker
+	o.p.WrapWidth = uint(*wrapWidth)
+	if o.single {
+		if err := o.p.Validate(); err != nil {
+			return options{}, err
+		}
+	}
+	return o, nil
+}
+
+// run executes the requested sweep or single trace, reporting to w. A
+// divergence is printed in full (with its reproducer) and returned as an
+// error so main can exit non-zero.
+func run(o options, w io.Writer) error {
+	start := time.Now()
+	if o.single {
+		res, d := diffcheck.Run(o.p)
+		if d != nil {
+			fmt.Fprintln(w, d.Error())
+			return fmt.Errorf("1 divergence")
+		}
+		fmt.Fprintf(w, "trace ok: epochs=%d rec-epoch=%d boundary-verifies=%d crash-verifies=%d wrap-flushes=%d lines=%d baselines=%v\n",
+			res.MaxEpoch, res.RecEpoch, res.BoundaryVerifies, res.CrashVerifies,
+			res.WrapFlushes, res.Lines, res.Baselines)
+		fmt.Fprintf(w, "0 divergences in 1 trace (%v)\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	var boundary, crash int
+	for i := 0; i < o.traces; i++ {
+		p := diffcheck.RegimeParams(i, o.seed)
+		res, d := diffcheck.Run(p)
+		if d != nil {
+			fmt.Fprintln(w, d.Error())
+			return fmt.Errorf("divergence at trace %d of %d", i+1, o.traces)
+		}
+		boundary += res.BoundaryVerifies
+		crash += res.CrashVerifies
+		if o.every > 0 && (i+1)%o.every == 0 {
+			fmt.Fprintf(w, "%d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
+				i+1, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(w, "0 divergences in %d traces (%d boundary + %d crash verifies, %v)\n",
+		o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSweepMode(t *testing.T) {
+	o, err := parseFlags([]string{"-traces", "6", "-every", "3", "-seed", "11"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.single {
+		t.Fatal("sweep flags triggered single-trace mode")
+	}
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"3/6 traces ok", "6/6 traces ok", "0 divergences in 6 traces"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSingleTraceMode(t *testing.T) {
+	args := strings.Fields("-seed 7 -cores 4 -vdcores 2 -steps 900 -lines 64 -share 60 -write 50 -epoch 10 -pattern uniform -omcs 2 -crash 3 -wrap -wrapwidth 5")
+	o, err := parseFlags(args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.single {
+		t.Fatal("explicit trace flags did not trigger single-trace mode")
+	}
+	if o.p.Seed != 7 || !o.p.Wrap || o.p.WrapWidth != 5 || !o.p.Walker {
+		t.Fatalf("params misparsed: %+v", o.p)
+	}
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatalf("single trace failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"trace ok:", "wrap-flushes=", "0 divergences in 1 trace"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParseFlagErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	// Explicit trace params are validated at parse time in single mode.
+	if _, err := parseFlags([]string{"-cores", "4", "-vdcores", "3"}, io.Discard); err == nil {
+		t.Fatal("invalid trace params accepted")
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,115 +25,138 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	var (
-		wlName   = flag.String("workload", "btree", "workload: "+strings.Join(workload.Names(), ", "))
-		accesses = flag.Uint64("accesses", 300_000, "access budget")
-		epoch    = flag.Int("epoch", 4_000, "epoch size (stores)")
-		seed     = flag.Int64("seed", 42, "workload PRNG seed")
-		archive  = flag.String("archive", "", "export the snapshot archive to this file")
-	)
-	flag.Parse()
+// options is the parsed command line.
+type options struct {
+	wlName   string
+	accesses uint64
+	epoch    int
+	seed     int64
+	archive  string
+}
 
-	cfg := sim.DefaultConfig()
-	cfg.EpochSize = *epoch
-	cfg.Seed = *seed
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
+// parseFlags decodes the command line without touching the process-global
+// flag set, so tests can drive it directly.
+func parseFlags(args []string, errOut io.Writer) (options, error) {
+	fs := flag.NewFlagSet("nvrecover", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	o := options{}
+	fs.StringVar(&o.wlName, "workload", "btree", "workload: "+strings.Join(workload.Names(), ", "))
+	fs.Uint64Var(&o.accesses, "accesses", 300_000, "access budget")
+	fs.IntVar(&o.epoch, "epoch", 4_000, "epoch size (stores)")
+	fs.Int64Var(&o.seed, "seed", 42, "workload PRNG seed")
+	fs.StringVar(&o.archive, "archive", "", "export the snapshot archive to this file")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
 	}
-	wl, err := workload.Get(*wlName)
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	return o, nil
+}
+
+// run executes the full usage-model walkthrough, writing the narrative to w.
+func run(o options, w io.Writer) error {
+	cfg := sim.DefaultConfig()
+	cfg.EpochSize = o.epoch
+	cfg.Seed = o.seed
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	wl, err := workload.Get(o.wlName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// Retention keeps merged per-epoch tables so time travel works over
 	// the whole history (the debugging usage model).
 	nvo := core.New(&cfg, core.WithRetention())
-	driver := trace.NewDriver(&cfg, nvo, wl, *accesses)
-	fmt.Printf("running %s over NVOverlay (%d accesses, epoch %d stores)...\n",
-		*wlName, *accesses, *epoch)
+	driver := trace.NewDriver(&cfg, nvo, wl, o.accesses)
+	fmt.Fprintf(w, "running %s over NVOverlay (%d accesses, epoch %d stores)...\n",
+		o.wlName, o.accesses, o.epoch)
 	sum := driver.Run()
-	fmt.Printf("  done in %d cycles; %d lines written; rec-epoch %d\n\n",
+	fmt.Fprintf(w, "  done in %d cycles; %d lines written; rec-epoch %d\n\n",
 		sum.Cycles, len(sum.Final), nvo.Group().RecEpoch())
 
 	// --- Crash recovery -----------------------------------------------
-	fmt.Println("crash recovery:")
+	fmt.Fprintln(w, "crash recovery:")
 	img, rep := recovery.Recover(nvo.Group())
-	fmt.Printf("  restored %d lines of epoch %d in %d cycles (%.2f us at 3 GHz)\n",
+	fmt.Fprintf(w, "  restored %d lines of epoch %d in %d cycles (%.2f us at 3 GHz)\n",
 		rep.LinesRestored, rep.RecEpoch, rep.LatencyCycles,
 		float64(rep.LatencyCycles)/3e3)
 	if err := recovery.Verify(img, sum.Final); err != nil {
-		fatal(fmt.Errorf("image verification FAILED: %w", err))
+		return fmt.Errorf("image verification FAILED: %w", err)
 	}
-	fmt.Println("  image verified against the golden final memory state")
+	fmt.Fprintln(w, "  image verified against the golden final memory state")
 
 	// --- Time travel ---------------------------------------------------
-	fmt.Println("\ntime-travel debugging:")
+	fmt.Fprintln(w, "\ntime-travel debugging:")
 	addr := hottestAddr(sum.Final, nvo)
 	hist := recovery.History(nvo.Group(), addr)
-	fmt.Printf("  address %#x has %d snapshot versions:\n", addr, len(hist))
+	fmt.Fprintf(w, "  address %#x has %d snapshot versions:\n", addr, len(hist))
 	for i, v := range hist {
 		if i >= 6 {
-			fmt.Printf("    ... %d more\n", len(hist)-i)
+			fmt.Fprintf(w, "    ... %d more\n", len(hist)-i)
 			break
 		}
-		fmt.Printf("    epoch %4d -> value %d\n", v.Epoch, v.Data)
+		fmt.Fprintf(w, "    epoch %4d -> value %d\n", v.Epoch, v.Data)
 	}
 	if len(hist) >= 2 {
 		mid := hist[len(hist)/2].Epoch
 		d, e, ok := recovery.TimeTravel(nvo.Group(), addr, mid)
-		fmt.Printf("  read @epoch %d (fall-through): value %d from epoch %d (ok=%v)\n",
+		fmt.Fprintf(w, "  read @epoch %d (fall-through): value %d from epoch %d (ok=%v)\n",
 			mid, d, e, ok)
 	}
 
 	// --- Remote replication ---------------------------------------------
-	fmt.Println("\nremote replication:")
+	fmt.Fprintln(w, "\nremote replication:")
 	replica := recovery.NewReplica()
 	shipped := recovery.Replicate(nvo.Group(), replica)
-	fmt.Printf("  shipped %d epoch deltas (%d KB on the wire); replica at epoch %d\n",
+	fmt.Fprintf(w, "  shipped %d epoch deltas (%d KB on the wire); replica at epoch %d\n",
 		shipped, replica.BytesReceived>>10, replica.AppliedEpoch())
 	if err := recovery.Verify(replica.Image(), sum.Final); err != nil {
-		fatal(fmt.Errorf("replica verification FAILED: %w", err))
+		return fmt.Errorf("replica verification FAILED: %w", err)
 	}
-	fmt.Println("  replica image verified against the primary")
+	fmt.Fprintln(w, "  replica image verified against the primary")
 
 	// --- Snapshot archive -----------------------------------------------
-	if *archive != "" {
-		fmt.Println("\nsnapshot archive:")
-		f, err := os.Create(*archive)
+	if o.archive != "" {
+		fmt.Fprintln(w, "\nsnapshot archive:")
+		f, err := os.Create(o.archive)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := nvo.Group().Export(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		info, _ := os.Stat(*archive)
-		fmt.Printf("  wrote %s (%d KB): master image + %d epoch deltas\n",
-			*archive, info.Size()>>10, len(nvo.Group().Epochs()))
+		info, _ := os.Stat(o.archive)
+		fmt.Fprintf(w, "  wrote %s (%d KB): master image + %d epoch deltas\n",
+			o.archive, info.Size()>>10, len(nvo.Group().Epochs()))
 		// Round-trip sanity: re-open and compare a time-travel read.
-		rf, err := os.Open(*archive)
+		rf, err := os.Open(o.archive)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sf, err := omc.Import(rf)
 		rf.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if len(hist) > 0 {
 			probe := hist[len(hist)-1].Epoch
 			got, _ := sf.ReadAt(addr, probe)
 			want, _, _ := recovery.TimeTravel(nvo.Group(), addr, probe)
 			if got != want {
-				fatal(fmt.Errorf("archive read mismatch: %d vs %d", got, want))
+				return fmt.Errorf("archive read mismatch: %d vs %d", got, want)
 			}
-			fmt.Printf("  archive round-trip verified (addr %#x @epoch %d = %d)\n",
+			fmt.Fprintf(w, "  archive round-trip verified (addr %#x @epoch %d = %d)\n",
 				addr, probe, got)
 		}
 	}
+	return nil
 }
 
 // hottestAddr picks the address with the most snapshot versions, which
@@ -160,7 +184,14 @@ func hottestAddr(final map[uint64]uint64, nvo *core.NVOverlay) uint64 {
 	return cands[0].addr
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvrecover:", err)
-	os.Exit(1)
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvrecover:", err)
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvrecover:", err)
+		os.Exit(1)
+	}
 }

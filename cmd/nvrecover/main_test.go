@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWalkthrough runs the full usage-model demo at a reduced budget and
+// checks every verification step reports success, including the archive
+// round trip.
+func TestWalkthrough(t *testing.T) {
+	archive := filepath.Join(t.TempDir(), "snap.bin")
+	o, err := parseFlags([]string{
+		"-workload", "btree", "-accesses", "60000", "-epoch", "1000",
+		"-archive", archive,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"crash recovery:",
+		"image verified against the golden final memory state",
+		"time-travel debugging:",
+		"snapshot versions:",
+		"remote replication:",
+		"replica image verified against the primary",
+		"snapshot archive:",
+		"archive round-trip verified",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestErrors checks the failure modes surface as errors rather than exits.
+func TestErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Error("positional argument accepted")
+	}
+	o, err := parseFlags([]string{"-workload", "nope", "-accesses", "1000"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	o, err = parseFlags([]string{"-epoch", "-5"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil {
+		t.Error("invalid epoch size accepted")
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,58 +20,84 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	var (
-		scheme   = flag.String("scheme", "NVOverlay", "scheme: Ideal, SWLog, SWShadow, HWShadow, PiCL, PiCL-L2, NVOverlay")
-		wl       = flag.String("workload", "btree", "workload: "+strings.Join(workload.Names(), ", "))
-		scale    = flag.String("scale", "quick", "run scale: smoke, quick, full")
-		accesses = flag.Uint64("accesses", 0, "override the scale's access budget")
-		epoch    = flag.Int("epoch", 0, "override the scale's epoch size (stores)")
-		walker   = flag.Bool("walker", true, "enable the tag walker")
-		buffer   = flag.Bool("buffer", false, "enable the OMC buffer (NVOverlay)")
-		seed     = flag.Int64("seed", 42, "workload PRNG seed")
-		stats    = flag.Bool("stats", false, "dump all counters")
-	)
-	flag.Parse()
+// options is the parsed command line.
+type options struct {
+	scheme   string
+	wl       string
+	scale    string
+	accesses uint64
+	epoch    int
+	walker   bool
+	buffer   bool
+	seed     int64
+	stats    bool
+}
 
-	sc, err := scaleByName(*scale)
+// parseFlags decodes the command line without touching the process-global
+// flag set, so tests can drive it directly.
+func parseFlags(args []string, errOut io.Writer) (options, error) {
+	fs := flag.NewFlagSet("nvsim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	o := options{}
+	fs.StringVar(&o.scheme, "scheme", "NVOverlay", "scheme: Ideal, SWLog, SWShadow, HWShadow, PiCL, PiCL-L2, NVOverlay")
+	fs.StringVar(&o.wl, "workload", "btree", "workload: "+strings.Join(workload.Names(), ", "))
+	fs.StringVar(&o.scale, "scale", "quick", "run scale: smoke, quick, full")
+	fs.Uint64Var(&o.accesses, "accesses", 0, "override the scale's access budget")
+	fs.IntVar(&o.epoch, "epoch", 0, "override the scale's epoch size (stores)")
+	fs.BoolVar(&o.walker, "walker", true, "enable the tag walker")
+	fs.BoolVar(&o.buffer, "buffer", false, "enable the OMC buffer (NVOverlay)")
+	fs.Int64Var(&o.seed, "seed", 42, "workload PRNG seed")
+	fs.BoolVar(&o.stats, "stats", false, "dump all counters")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	return o, nil
+}
+
+// run executes one experiment and writes the summary to w.
+func run(o options, w io.Writer) error {
+	sc, err := scaleByName(o.scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *accesses > 0 {
-		sc.MaxAccesses = *accesses
+	if o.accesses > 0 {
+		sc.MaxAccesses = o.accesses
 	}
-	res, err := experiments.Run(*scheme, *wl, sc, func(c *sim.Config) {
-		if *epoch > 0 {
-			c.EpochSize = *epoch
+	res, err := experiments.Run(o.scheme, o.wl, sc, func(c *sim.Config) {
+		if o.epoch > 0 {
+			c.EpochSize = o.epoch
 		}
-		c.TagWalker = *walker
-		c.OMCBuffer = *buffer
-		c.Seed = *seed
+		c.TagWalker = o.walker
+		c.OMCBuffer = o.buffer
+		c.Seed = o.seed
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	s := res.Sum
-	fmt.Printf("scheme    %s\n", s.Scheme)
-	fmt.Printf("workload  %s\n", s.Workload)
-	fmt.Printf("cycles    %d\n", s.Cycles)
-	fmt.Printf("accesses  %d (%d stores, %d ops)\n", s.Accesses, s.Stores, s.Ops)
-	fmt.Printf("footprint %.2f MB\n", float64(s.Footprint)/(1<<20))
-	fmt.Printf("nvm bytes %d (data %d, log %d, meta %d, context %d)\n",
+	fmt.Fprintf(w, "scheme    %s\n", s.Scheme)
+	fmt.Fprintf(w, "workload  %s\n", s.Workload)
+	fmt.Fprintf(w, "cycles    %d\n", s.Cycles)
+	fmt.Fprintf(w, "accesses  %d (%d stores, %d ops)\n", s.Accesses, s.Stores, s.Ops)
+	fmt.Fprintf(w, "footprint %.2f MB\n", float64(s.Footprint)/(1<<20))
+	fmt.Fprintf(w, "nvm bytes %d (data %d, log %d, meta %d, context %d)\n",
 		s.NVMBytes, s.DataBytes, s.LogBytes, s.MetaBytes, s.CtxBytes)
 	if s.Stores > 0 {
-		fmt.Printf("write amp %.2f NVM bytes per stored byte (store = 8 B)\n",
+		fmt.Fprintf(w, "write amp %.2f NVM bytes per stored byte (store = 8 B)\n",
 			float64(s.NVMBytes)/float64(s.Stores*8))
 	}
 	nvm := res.Scheme.NVM()
-	fmt.Printf("nvm wear  max %d writes/page over %d pages\n", nvm.MaxWear(), nvm.PagesTouched())
-	fmt.Printf("bandwidth %s\n", nvm.Series().Sparkline())
-	if *stats {
-		fmt.Println("\ncounters:")
-		fmt.Print(res.Scheme.Stats().Dump("  "))
+	fmt.Fprintf(w, "nvm wear  max %d writes/page over %d pages\n", nvm.MaxWear(), nvm.PagesTouched())
+	fmt.Fprintf(w, "bandwidth %s\n", nvm.Series().Sparkline())
+	if o.stats {
+		fmt.Fprintln(w, "\ncounters:")
+		fmt.Fprint(w, res.Scheme.Stats().Dump("  "))
 	}
+	return nil
 }
 
 func scaleByName(name string) (experiments.Scale, error) {
@@ -86,7 +113,14 @@ func scaleByName(name string) (experiments.Scale, error) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvsim:", err)
-	os.Exit(1)
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvsim:", err)
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvsim:", err)
+		os.Exit(1)
+	}
 }

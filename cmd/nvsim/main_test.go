@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSmokeRun drives the full experiment path at smoke scale and checks
+// the key summary lines appear.
+func TestSmokeRun(t *testing.T) {
+	o, err := parseFlags([]string{"-scale", "smoke", "-scheme", "NVOverlay", "-workload", "btree"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"scheme    NVOverlay",
+		"workload  btree",
+		"cycles    ",
+		"accesses  ",
+		"footprint ",
+		"nvm bytes ",
+		"write amp ",
+		"nvm wear  ",
+		"bandwidth ",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestStatsDump checks -stats appends the counter dump.
+func TestStatsDump(t *testing.T) {
+	o, err := parseFlags([]string{"-scale", "smoke", "-scheme", "PiCL", "-stats", "-accesses", "20000"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scheme    PiCL") {
+		t.Errorf("output missing PiCL summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "counters:") {
+		t.Errorf("-stats did not dump counters:\n%s", out.String())
+	}
+}
+
+// TestErrors checks parse- and run-time failure modes surface as errors
+// rather than exits, so main can map them to status codes.
+func TestErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Error("positional argument accepted")
+	}
+	o, err := parseFlags([]string{"-scale", "nope"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Errorf("bad scale: got %v, want unknown scale error", err)
+	}
+	o, err = parseFlags([]string{"-scale", "smoke", "-scheme", "NoSuchScheme"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	o, err = parseFlags([]string{"-scale", "smoke", "-workload", "nope"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -90,6 +90,10 @@ func (b *base) NVM() *mem.NVM { return b.nvm }
 // Hierarchy exposes the cache hierarchy (tests).
 func (b *base) Hierarchy() *coherence.Hierarchy { return b.h }
 
+// DRAM exposes the working-memory model; the differential harness reads it
+// as the crash-free image oracle for the baseline schemes.
+func (b *base) DRAM() *mem.DRAM { return b.dram }
+
 // Epoch returns the current global epoch.
 func (b *base) Epoch() uint64 { return b.epoch }
 

@@ -23,6 +23,8 @@ type NVOverlay struct {
 	group  *omc.Group
 	fe     *cst.Frontend
 	clocks *sim.Clocks
+
+	lastStoreOID uint64
 }
 
 // Option configures the NVOverlay assembly.
@@ -78,12 +80,19 @@ func (n *NVOverlay) Bind(clocks *sim.Clocks) { n.clocks = clocks }
 func (n *NVOverlay) Access(tid int, addr uint64, write bool, data uint64) uint64 {
 	now := n.clocks.Now(tid)
 	res := n.fe.Access(tid, addr, write, data, now)
+	n.lastStoreOID = res.StoreOID
 	if res.VDStall > 0 {
 		vd := n.cfg.VDOf(tid)
 		n.clocks.StallGroup(vd*n.cfg.CoresPerVD, (vd+1)*n.cfg.CoresPerVD, res.VDStall)
 	}
 	return res.Lat
 }
+
+// LastStoreOID returns the epoch tag the version access protocol assigned
+// to the most recent Access when it was a store (0 after a load). The
+// differential verification harness uses it to version its golden
+// shadow-memory model with exactly the epochs the hardware assigned.
+func (n *NVOverlay) LastStoreOID() uint64 { return n.lastStoreOID }
 
 // Drain implements trace.Scheme: the hierarchy flushes its versions and the
 // OMCs merge every remaining epoch.

@@ -56,10 +56,14 @@ type Backend interface {
 
 // Result reports one access's outcome. Lat is charged to the issuing
 // thread; VDStall additionally stalls every core of the VD (epoch advances
-// drain and stall the whole domain, §IV-B2).
+// drain and stall the whole domain, §IV-B2). StoreOID is the epoch tag the
+// version access protocol assigned to a store (0 for loads); differential
+// verification feeds it to the golden shadow-memory model so the golden
+// image can be versioned exactly as the hardware versioned the write.
 type Result struct {
-	Lat     uint64
-	VDStall uint64
+	Lat      uint64
+	VDStall  uint64
+	StoreOID uint64
 }
 
 type dirEntry struct {
@@ -97,9 +101,10 @@ type Frontend struct {
 	wrapFlush  int // group-transition flushes performed
 
 	// Transient per-access accounting.
-	now     uint64
-	stall   uint64
-	vdStall uint64
+	now      uint64
+	stall    uint64
+	vdStall  uint64
+	storeOID uint64
 
 	evicts [numReasons]uint64
 	stat   *stats.Set
@@ -207,6 +212,7 @@ func (f *Frontend) Access(tid int, addr uint64, write bool, data uint64, now uin
 	f.now = now
 	f.stall = 0
 	f.vdStall = 0
+	f.storeOID = 0
 	var lat uint64
 	if write {
 		lat = f.store(tid, addr, data)
@@ -214,7 +220,7 @@ func (f *Frontend) Access(tid int, addr uint64, write bool, data uint64, now uin
 		lat = f.load(tid, addr)
 	}
 	f.drainWalk(f.cfg.VDOf(tid))
-	return Result{Lat: lat + f.stall, VDStall: f.vdStall}
+	return Result{Lat: lat + f.stall, VDStall: f.vdStall, StoreOID: f.storeOID}
 }
 
 // walkDrainRate is how many pending walk write-backs the opportunistic
@@ -429,6 +435,7 @@ func (f *Frontend) performStore(tid, vd int, ln *cache.Line, data uint64) {
 	ln.Data = data
 	ln.Dirty = true
 	ln.State = cache.Modified
+	f.storeOID = cur
 }
 
 // bumpStore counts a store toward the VD's epoch budget and advances the

@@ -1,0 +1,59 @@
+package diffcheck
+
+import "testing"
+
+// clampParams maps arbitrary fuzz inputs onto a valid Params value. Every
+// clamped field stays inside Validate()'s envelope, so the fuzzer explores
+// machine shapes and access mixes, not input validation.
+func clampParams(seed int64, cores, vdcores, share, write, epoch, pattern, flags uint8, steps uint16) Params {
+	c := 1 << (int(cores) % 4) // 1, 2, 4 or 8 cores
+	per := 1 << (int(vdcores) % 4)
+	if per > c {
+		per = c
+	}
+	p := Params{
+		Seed:        seed,
+		Cores:       c,
+		CoresPerVD:  per,
+		Steps:       200 + int(steps)%1200,
+		Lines:       16 + int(share)%112,
+		SharePct:    int(share) % 101,
+		WritePct:    25 + int(write)%76, // stores must occur for epochs to close
+		EpochSize:   1 + int(epoch)%24,
+		Pattern:     []string{PatternUniform, PatternHotspot, PatternStride}[int(pattern)%3],
+		Walker:      flags&1 == 0, // walker on for most inputs
+		Buffered:    flags&2 != 0,
+		OMCs:        1 + int(flags>>4)%4,
+		CrashPoints: 3,
+	}
+	if flags&4 != 0 {
+		p.Wrap = true
+		// Narrow widths only when sharing keeps VD epoch skew below half
+		// the wire space (the protocol's own §IV-D operating condition).
+		p.WrapWidth = 8
+		if p.SharePct >= 50 {
+			p.WrapWidth = 5
+		}
+	}
+	return p
+}
+
+// FuzzDifferentialTrace feeds fuzzer-chosen trace parameters through the
+// full differential harness: any divergence between the snapshot stack and
+// the golden model fails the fuzz run with a deterministic reproducer.
+func FuzzDifferentialTrace(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), uint8(50), uint8(25), uint8(13), uint8(0), uint8(0), uint16(800))
+	f.Add(int64(2), uint8(3), uint8(1), uint8(60), uint8(25), uint8(9), uint8(1), uint8(4), uint16(1000))
+	f.Add(int64(3), uint8(2), uint8(0), uint8(70), uint8(50), uint8(9), uint8(2), uint8(6), uint16(900))
+	f.Add(int64(4), uint8(3), uint8(1), uint8(40), uint8(75), uint8(17), uint8(0), uint8(2), uint16(700))
+	f.Add(int64(5), uint8(1), uint8(0), uint8(90), uint8(30), uint8(5), uint8(1), uint8(17), uint16(600))
+	f.Fuzz(func(t *testing.T, seed int64, cores, vdcores, share, write, epoch, pattern, flags uint8, steps uint16) {
+		p := clampParams(seed, cores, vdcores, share, write, epoch, pattern, flags, steps)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("clamp produced invalid params: %v (%+v)", err, p)
+		}
+		if _, d := Run(p); d != nil {
+			t.Fatal(d.Error())
+		}
+	})
+}

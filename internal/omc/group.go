@@ -81,10 +81,26 @@ func (g *Group) RecEpoch() uint64 {
 	return min
 }
 
-// Seal finalises all members at end of run.
+// Seal finalises all members at end of run. The recoverable epoch is
+// raised to the group-wide maximum epoch: a partition that received no
+// version from the final epochs has nothing left to persist for them, so
+// after its own seal those epochs are recoverable from its perspective
+// too. Sealing members independently would leave Group.RecEpoch (the
+// minimum across members) below the last epoch whenever the address
+// interleaving starved one partition, and replication targets would stop
+// short of the final state.
 func (g *Group) Seal(now uint64) {
+	var max uint64
+	for _, o := range g.omcs {
+		if o.maxEpoch > max {
+			max = o.maxEpoch
+		}
+	}
 	for _, o := range g.omcs {
 		o.Seal(now)
+		if max > o.recEpoch {
+			o.recEpoch = max
+		}
 	}
 }
 
