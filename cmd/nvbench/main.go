@@ -26,6 +26,7 @@ func main() {
 		exp    = flag.String("exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, all")
 		scale  = flag.String("scale", "quick", "run scale: smoke, quick, full")
 		wlCSV  = flag.String("workloads", "", "comma-separated workload subset (default: all twelve)")
+		seed   = flag.Int64("seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
 		timing = flag.Bool("time", true, "print wall-clock duration per experiment")
 	)
 	flag.Parse()
@@ -34,6 +35,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sc.Seed = *seed
 	var wls []string
 	if *wlCSV != "" {
 		wls = strings.Split(*wlCSV, ",")
@@ -62,6 +64,9 @@ func main() {
 		run("config", func() error {
 			cfg := sim.DefaultConfig()
 			cfg.EpochSize = sc.EpochSize
+			if sc.Seed != 0 {
+				cfg.Seed = sc.Seed
+			}
 			if sc.Machine != nil {
 				sc.Machine(&cfg)
 			}

@@ -1,0 +1,155 @@
+// Command nvlint runs the repository's custom static-analysis suite: the
+// determinism, epoch-wrap, and error-handling checks of internal/analysis.
+// It is stdlib-only (go/ast + go/types) and loads every non-test package of
+// the module, so `nvlint ./...` is the canonical invocation.
+//
+//	nvlint ./...                 # lint the whole module
+//	nvlint ./internal/omc        # restrict reporting to one subtree
+//	nvlint -json ./...           # machine-readable output
+//	nvlint -list                 # describe the checks
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// options is the parsed command line.
+type options struct {
+	json bool
+	list bool
+	dirs []string // package dir filters relative to the module root ("" = all)
+}
+
+// parseFlags decodes the command line without touching the process-global
+// flag set, so tests can drive it directly.
+func parseFlags(args []string, errOut io.Writer) (options, error) {
+	fs := flag.NewFlagSet("nvlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	o := options{}
+	fs.BoolVar(&o.json, "json", false, "emit diagnostics as a JSON array")
+	fs.BoolVar(&o.list, "list", false, "list the checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	for _, arg := range fs.Args() {
+		switch arg {
+		case "./...", "...", ".":
+			o.dirs = append(o.dirs, "")
+		default:
+			dir := strings.TrimSuffix(arg, "/...")
+			dir = strings.TrimPrefix(dir, "./")
+			o.dirs = append(o.dirs, filepath.ToSlash(filepath.Clean(dir)))
+		}
+	}
+	if len(o.dirs) == 0 {
+		o.dirs = []string{""}
+	}
+	return o, nil
+}
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// run loads the module rooted at or above cwd, lints it, and writes the
+// diagnostics to w. It returns the number of diagnostics reported.
+func run(o options, cwd string, w io.Writer) (int, error) {
+	if o.list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(w, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return 0, err
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+
+	// Restrict reporting to the requested subtrees (everything is always
+	// loaded: type-checking needs the whole module anyway).
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		rel = filepath.ToSlash(rel)
+		for _, dir := range o.dirs {
+			if dir == "" || rel == dir || strings.HasPrefix(rel, dir+"/") {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+
+	if o.json {
+		out := make([]jsonDiag, 0, len(kept))
+		for _, d := range kept {
+			rel, err := filepath.Rel(root, d.Pos.Filename)
+			if err != nil {
+				rel = d.Pos.Filename
+			}
+			out = append(out, jsonDiag{
+				File: filepath.ToSlash(rel), Line: d.Pos.Line, Column: d.Pos.Column,
+				Check: d.Check, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return len(kept), err
+		}
+		return len(kept), nil
+	}
+	for _, d := range kept {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(w, "nvlint: %d diagnostic(s)\n", len(kept))
+	}
+	return len(kept), nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvlint:", err)
+		os.Exit(2)
+	}
+	n, err := run(o, cwd, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want options
+	}{
+		{[]string{"./..."}, options{dirs: []string{""}}},
+		{[]string{}, options{dirs: []string{""}}},
+		{[]string{"-json", "./internal/omc/..."}, options{json: true, dirs: []string{"internal/omc"}}},
+		{[]string{"internal/cst", "cmd/nvlint"}, options{dirs: []string{"internal/cst", "cmd/nvlint"}}},
+		{[]string{"-list"}, options{list: true, dirs: []string{""}}},
+	}
+	for _, c := range cases {
+		got, err := parseFlags(c.args, io.Discard)
+		if err != nil {
+			t.Fatalf("parseFlags(%v): %v", c.args, err)
+		}
+		if got.json != c.want.json || got.list != c.want.list {
+			t.Errorf("parseFlags(%v) flags = %+v, want %+v", c.args, got, c.want)
+		}
+		if len(got.dirs) != len(c.want.dirs) {
+			t.Fatalf("parseFlags(%v) dirs = %v, want %v", c.args, got.dirs, c.want.dirs)
+		}
+		for i := range got.dirs {
+			if got.dirs[i] != c.want.dirs[i] {
+				t.Errorf("parseFlags(%v) dirs = %v, want %v", c.args, got.dirs, c.want.dirs)
+			}
+		}
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run(options{list: true}, ".", &buf)
+	if err != nil || n != 0 {
+		t.Fatalf("run(-list) = %d, %v", n, err)
+	}
+	for _, check := range []string{"maprange", "wallclock", "epochwrap", "errcheck"} {
+		if !strings.Contains(buf.String(), check) {
+			t.Errorf("-list output missing %q:\n%s", check, buf.String())
+		}
+	}
+}
+
+// TestModuleIsClean lints the enclosing module through the CLI path: the
+// repository must report zero diagnostics, text and JSON alike.
+func TestModuleIsClean(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run(options{dirs: []string{""}}, ".", &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("module has %d diagnostics, want 0:\n%s", n, buf.String())
+	}
+
+	buf.Reset()
+	n, err = run(options{json: true, dirs: []string{""}}, ".", &buf)
+	if err != nil || n != 0 {
+		t.Fatalf("run(-json) = %d, %v", n, err)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("-json reported %d diagnostics, want 0", len(diags))
+	}
+}

@@ -126,13 +126,16 @@ func run(o options, w io.Writer) error {
 			return err
 		}
 		if err := nvo.Group().Export(f); err != nil {
-			f.Close()
+			_ = f.Close() // the export error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		info, _ := os.Stat(o.archive)
+		info, err := os.Stat(o.archive)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "  wrote %s (%d KB): master image + %d epoch deltas\n",
 			o.archive, info.Size()>>10, len(nvo.Group().Epochs()))
 		// Round-trip sanity: re-open and compare a time-travel read.
@@ -141,7 +144,7 @@ func run(o options, w io.Writer) error {
 			return err
 		}
 		sf, err := omc.Import(rf)
-		rf.Close()
+		_ = rf.Close() // read-side close; the Import error decides the outcome
 		if err != nil {
 			return err
 		}
@@ -160,20 +163,25 @@ func run(o options, w io.Writer) error {
 }
 
 // hottestAddr picks the address with the most snapshot versions, which
-// makes for an interesting time-travel demonstration.
+// makes for an interesting time-travel demonstration. The candidate sample
+// is taken from the sorted address list, not map order, so the same run
+// always demonstrates the same address.
 func hottestAddr(final map[uint64]uint64, nvo *core.NVOverlay) uint64 {
+	addrs := make([]uint64, 0, len(final))
+	for addr := range final {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if len(addrs) > 256 {
+		addrs = addrs[:256]
+	}
 	type cand struct {
 		addr uint64
 		n    int
 	}
 	var cands []cand
-	i := 0
-	for addr := range final {
+	for _, addr := range addrs {
 		cands = append(cands, cand{addr, len(recovery.History(nvo.Group(), addr))})
-		i++
-		if i >= 256 {
-			break
-		}
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].n != cands[b].n {

@@ -1,0 +1,278 @@
+// Package analysis is nvlint's static-analysis engine: a stdlib-only
+// (go/ast + go/parser + go/types, no x/tools) framework that loads every
+// package of the module and runs a pluggable set of analyzers enforcing the
+// simulator's determinism and invariant contracts. The checks exist because
+// the whole reproduction rests on deterministic replay: a single map
+// iteration in hash order, one wall-clock read, or one raw comparison on a
+// wrapping epoch silently breaks the bit-identical reproducers that
+// internal/diffcheck emits.
+//
+// Findings are suppressed site by site with
+//
+//	//nvlint:allow <check> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory: a suppression without one is itself reported, so every escape
+// hatch in the tree carries its own audit trail.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Path  string // import path of the package under analysis
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Shared is cross-package state the driver computes before any
+	// analyzer runs (e.g. the set of wrap-sensitive epoch types, which may
+	// be declared in one package and used from another).
+	Shared *Shared
+
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the running analyzer's check name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one pluggable check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Match reports whether the analyzer applies to a package import path.
+	// A nil Match applies everywhere.
+	Match func(path string) bool
+	Run   func(*Pass)
+}
+
+// Shared is the driver's cross-package pre-scan: state that an analyzer
+// needs about declarations outside the package it is currently visiting.
+type Shared struct {
+	// WrapSensitive holds the type names marked `nvlint:wrapsensitive`
+	// (values of these types wrap around and must not be compared or
+	// advanced with raw operators).
+	WrapSensitive map[*types.TypeName]bool
+}
+
+// directiveWrapSensitive and directiveWrapSafe are the comment markers the
+// epochwrap analyzer honours (see epochwrap.go).
+const (
+	directiveWrapSensitive = "nvlint:wrapsensitive"
+	directiveWrapSafe      = "nvlint:wrapsafe"
+)
+
+// newShared pre-scans all loaded packages for cross-package directives.
+func newShared(pkgs []*Package) *Shared {
+	sh := &Shared{WrapSensitive: make(map[*types.TypeName]bool)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gd, ok := n.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !commentHas(gd.Doc, directiveWrapSensitive) &&
+						!commentHas(ts.Doc, directiveWrapSensitive) &&
+						!commentHas(ts.Comment, directiveWrapSensitive) {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						sh.WrapSensitive[tn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return sh
+}
+
+func commentHas(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowRe matches a suppression comment: //nvlint:allow <check> <reason>.
+var allowRe = regexp.MustCompile(`^//\s*nvlint:allow\s+([a-z-]+)\s*(.*)$`)
+
+// suppression is one parsed //nvlint:allow comment.
+type suppression struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+// collectSuppressions parses every //nvlint:allow comment of a file.
+func collectSuppressions(fset *token.FileSet, file *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			out = append(out, suppression{
+				pos:    fset.Position(c.Pos()),
+				check:  m[1],
+				reason: strings.TrimSpace(m[2]),
+			})
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the loaded packages, applies
+// suppressions, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	shared := newShared(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Fset:   pkg.Fset,
+				Files:  pkg.Files,
+				Path:   pkg.Path,
+				Pkg:    pkg.Types,
+				Info:   pkg.Info,
+				Shared: shared,
+				check:  a.Name,
+				diags:  &diags,
+			}
+			a.Run(pass)
+		}
+	}
+
+	// Gather suppressions across all files, then filter. A suppression
+	// cancels diagnostics of its check on its own line and the line below
+	// (so it can trail the offending statement or sit on its own line
+	// above it). Suppressions without a reason are themselves findings.
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	allowed := make(map[key]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, s := range collectSuppressions(pkg.Fset, file) {
+				if s.reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:     s.pos,
+						Check:   "suppress",
+						Message: fmt.Sprintf("//nvlint:allow %s needs a reason", s.check),
+					})
+					continue
+				}
+				allowed[key{s.pos.Filename, s.pos.Line, s.check}] = true
+				allowed[key{s.pos.Filename, s.pos.Line + 1, s.check}] = true
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[key{d.Pos.Filename, d.Pos.Line, d.Check}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}
+
+// simVisible is the set of packages whose behaviour is simulation-visible:
+// anything here feeding stats, traces, or replay must be deterministic.
+var simVisible = prefixMatcher(
+	"repro/internal/sim",
+	"repro/internal/cst",
+	"repro/internal/omc",
+	"repro/internal/coherence",
+	"repro/internal/cache",
+	"repro/internal/mem",
+	"repro/internal/core",
+	"repro/internal/recovery",
+	"repro/internal/baseline",
+	"repro/internal/diffcheck",
+)
+
+// errcheckScope covers the NVM/DRAM device models and the recovery paths,
+// where a silently dropped error means a corrupted or unverified image.
+var errcheckScope = prefixMatcher(
+	"repro/internal/mem",
+	"repro/internal/recovery",
+	"repro/internal/omc",
+	"repro/cmd/nvrecover",
+)
+
+// prefixMatcher matches an import path equal to, or nested under, any of
+// the given paths.
+func prefixMatcher(paths ...string) func(string) bool {
+	return func(p string) bool {
+		for _, base := range paths {
+			if p == base || strings.HasPrefix(p, base+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Analyzers returns the full nvlint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, EpochWrap, ErrCheck}
+}

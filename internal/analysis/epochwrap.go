@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochWrap flags raw ordering comparisons and arithmetic on values whose
+// type is marked `nvlint:wrapsensitive` (16-bit wire epochs and OIDs).
+// `a < b` and `a + 1` are wrong on a wrapping space — exactly the bug
+// family behind the 65535->0 epoch wrap (paper §IV-D) that PR 1's fuzzing
+// caught dynamically in omc.Group.Seal. Comparisons must go through the
+// designated wrap-safe helpers (functions marked `nvlint:wrapsafe`, e.g.
+// cst.WrapSpace.Less), where the raw operators are allowed because the
+// sense-bit protocol makes them correct.
+//
+// Equality (== and !=) is exempt: it is wrap-oblivious.
+var EpochWrap = &Analyzer{
+	Name: "epochwrap",
+	Doc:  "wrap-sensitive epoch values must be compared via wrap-safe helpers",
+	Run:  runEpochWrap,
+}
+
+func runEpochWrap(pass *Pass) {
+	if len(pass.Shared.WrapSensitive) == 0 {
+		return
+	}
+	sensitive := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return false
+		}
+		return pass.Shared.WrapSensitive[named.Obj()]
+	}
+	for _, file := range pass.Files {
+		funcs := collectFuncs(file)
+		wrapSafe := func(pos token.Pos) bool {
+			for fn := enclosingFunc(funcs, pos); fn != nil; fn = enclosingFunc(funcs, fn.Pos()-1) {
+				fd, ok := fn.(*ast.FuncDecl)
+				if !ok {
+					continue // func literals inherit their enclosing decl's marker
+				}
+				return commentHas(fd.Doc, directiveWrapSafe)
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ,
+					token.ADD, token.SUB:
+				default:
+					return true
+				}
+				if !sensitive(e.X) && !sensitive(e.Y) {
+					return true
+				}
+				if wrapSafe(e.Pos()) {
+					return true
+				}
+				pass.Reportf(e.Pos(), "raw %s on wrap-sensitive epoch value; use a nvlint:wrapsafe helper (wire epochs wrap at the group boundary)", e.Op)
+			case *ast.IncDecStmt:
+				if !sensitive(e.X) || wrapSafe(e.Pos()) {
+					return true
+				}
+				pass.Reportf(e.Pos(), "raw %s on wrap-sensitive epoch value; use a nvlint:wrapsafe helper (wire epochs wrap at the group boundary)", e.Tok)
+			case *ast.AssignStmt:
+				switch e.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				default:
+					return true
+				}
+				for _, lhs := range e.Lhs {
+					if sensitive(lhs) && !wrapSafe(e.Pos()) {
+						pass.Reportf(e.Pos(), "raw %s on wrap-sensitive epoch value; use a nvlint:wrapsafe helper (wire epochs wrap at the group boundary)", e.Tok)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is a scoped errcheck: on the NVM/DRAM device models and the
+// recovery paths, a silently dropped error means a snapshot that was never
+// durable or an image that was never verified. It flags
+//
+//   - call statements discarding an error-returning result,
+//   - `go`/`defer` on error-returning calls, and
+//   - multi-value assignments blanking an error position (`v, _ := f()`).
+//
+// A single-value explicit discard (`_ = f()`) is allowed: the blank is the
+// audit trail. Calls into package fmt are exempt (terminal write errors are
+// not recoverable state).
+var ErrCheck = &Analyzer{
+	Name:  "errcheck",
+	Doc:   "device and recovery paths must not ignore error returns",
+	Match: errcheckScope,
+	Run:   runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, s.Call, "go ")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, s.Call, "defer ")
+			case *ast.AssignStmt:
+				checkBlankedError(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+	default:
+		return types.Identical(t, errorType)
+	}
+	return false
+}
+
+// exemptCall reports whether the callee's error is conventionally ignored.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "fmt"
+}
+
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, prefix string) {
+	if !returnsError(pass, call) || exemptCall(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%serror return is silently discarded; handle it or assign to _ explicitly", prefix)
+}
+
+// checkBlankedError flags `v, _ := f()` where the blank swallows an error.
+func checkBlankedError(pass *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 || len(s.Lhs) < 2 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || exemptCall(pass, call) {
+		return
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || tuple.Len() != len(s.Lhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if types.Identical(tuple.At(i).Type(), errorType) {
+			pass.Reportf(s.Pos(), "error result %d of %d is blanked; handle it (recovery/device errors must not vanish)", i+1, tuple.Len())
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for ... range m` over map values in simulation-visible
+// packages. Go randomises map iteration order per run, so any such loop
+// whose effect is order-dependent silently breaks deterministic replay and
+// byte-stable reproducer output.
+//
+// One shape is recognised as safe without a suppression: a loop whose body
+// only appends the key (or values derived from it) to slices that are later
+// passed to a sort call in the same function — the canonical
+// collect-then-sort idiom. Everything else needs either a rewrite or an
+// explicit `//nvlint:allow maprange <reason>` (e.g. commutative reductions
+// like sums, min/max selection, or map-to-map merges).
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "map iteration in simulation-visible code must be sorted or explicitly suppressed",
+	Match: simVisible,
+	Run:   runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, file := range pass.Files {
+		funcs := collectFuncs(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn := enclosingFunc(funcs, rs.Pos())
+			if fn != nil && isSortedKeyCollect(pass, rs, fn) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration order is randomised; sort the keys first (or //nvlint:allow maprange <reason> if provably order-independent)")
+			return true
+		})
+	}
+}
+
+// collectFuncs gathers every function body in the file, innermost-last.
+func collectFuncs(file *ast.File) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFunc returns the innermost function containing pos.
+func enclosingFunc(funcs []ast.Node, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, fn := range funcs {
+		if fn.Pos() <= pos && pos < fn.End() {
+			if best == nil || fn.Pos() > best.Pos() {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// isSortedKeyCollect reports whether the range loop only appends to slices
+// that are sorted later in the enclosing function. Appends may sit directly
+// in the body or under a single level of if/else guarding.
+func isSortedKeyCollect(pass *Pass, rs *ast.RangeStmt, fn ast.Node) bool {
+	targets := appendTargets(pass, rs.Body.List, true)
+	if targets == nil || len(targets) == 0 {
+		return false
+	}
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	for obj := range targets {
+		if !sortedAfter(pass, body, rs.End(), obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTargets returns the objects of slice variables the statements append
+// to, or nil if any statement is not an append-assignment (recursing one
+// level into if statements when allowGuard is set).
+func appendTargets(pass *Pass, stmts []ast.Stmt, allowGuard bool) map[types.Object]bool {
+	targets := make(map[types.Object]bool)
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return nil
+			}
+			lhs, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return nil
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" {
+				return nil
+			}
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+				return nil
+			}
+			obj := pass.Info.Uses[lhs]
+			if obj == nil {
+				obj = pass.Info.Defs[lhs]
+			}
+			if obj == nil {
+				return nil
+			}
+			targets[obj] = true
+		case *ast.IfStmt:
+			if !allowGuard || s.Else != nil || !pureGuardInit(s.Init) {
+				return nil
+			}
+			sub := appendTargets(pass, s.Body.List, false)
+			if sub == nil {
+				return nil
+			}
+			for o := range sub {
+				targets[o] = true
+			}
+		default:
+			return nil
+		}
+	}
+	return targets
+}
+
+// pureGuardInit reports whether an if-guard's init statement is absent or a
+// call-free short declaration (`if _, dup := m[k]; !dup { ... }`), which
+// cannot affect iteration-order sensitivity.
+func pureGuardInit(init ast.Stmt) bool {
+	if init == nil {
+		return true
+	}
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return false
+	}
+	pure := true
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if _, isCall := n.(*ast.CallExpr); isCall {
+				pure = false
+				return false
+			}
+			return true
+		})
+	}
+	return pure
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort call
+// after pos within body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fnObj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fnObj.Pkg() == nil {
+			return true
+		}
+		pkgPath := fnObj.Pkg().Path()
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// TestRepositoryLintsClean loads the whole module and runs the full nvlint
+// suite over it: the tree must stay lint-clean, with every intentional
+// exception carrying an //nvlint:allow <check> <reason> audit trail. This
+// is the same invariant CI enforces via `go run ./cmd/nvlint ./...`.
+func TestRepositoryLintsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the loader is missing most of the module", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,54 @@
+// Package epochwrap exercises nvlint's epochwrap analyzer: raw ordering
+// and arithmetic on wrap-sensitive epoch types must go through wrap-safe
+// helpers.
+package epochwrap
+
+// Wire is a 16-bit wrapping epoch as it appears on the simulated wire.
+//
+// nvlint:wrapsensitive
+type Wire uint16
+
+// plain is an ordinary integer type: raw operators on it are fine.
+type plain uint16
+
+func rawLess(a, b Wire) bool {
+	return a < b // want "use a nvlint:wrapsafe helper"
+}
+
+func rawAdd(a Wire) Wire {
+	return a + 1 // want "use a nvlint:wrapsafe helper"
+}
+
+func rawIncrement(a Wire) Wire {
+	a++ // want "use a nvlint:wrapsafe helper"
+	return a
+}
+
+func rawAddAssign(a Wire) Wire {
+	a += 2 // want "use a nvlint:wrapsafe helper"
+	return a
+}
+
+func equalityIsFine(a, b Wire) bool {
+	return a == b
+}
+
+func plainTypesAreFine(a, b plain) bool {
+	return a < b
+}
+
+// less orders two wire values; the raw operator is legal here because the
+// test pretends a sense-bit protocol makes it correct.
+//
+// nvlint:wrapsafe
+func less(a, b Wire) bool {
+	return a < b
+}
+
+// distance is wrap-safe, and its closure inherits the marker.
+//
+// nvlint:wrapsafe
+func distance(a, b Wire) uint16 {
+	d := func() Wire { return b - a }
+	return uint16(d())
+}

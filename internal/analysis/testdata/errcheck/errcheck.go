@@ -1,0 +1,57 @@
+// Package errcheck exercises nvlint's errcheck analyzer: device and
+// recovery paths must not drop error returns.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBoom = errors.New("boom")
+
+func mayFail() error { return errBoom }
+
+func readLine() (uint64, error) { return 0, errBoom }
+
+func pureCall() uint64 { return 42 }
+
+func dropsError() {
+	mayFail() // want "error return is silently discarded"
+}
+
+func goDropsError() {
+	go mayFail() // want "error return is silently discarded"
+}
+
+func deferDropsError() {
+	defer mayFail() // want "error return is silently discarded"
+}
+
+func blanksError() uint64 {
+	v, _ := readLine() // want "is blanked"
+	return v
+}
+
+func explicitDiscardIsFine() {
+	_ = mayFail()
+}
+
+func handledIsFine() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := readLine()
+	if err != nil {
+		return err
+	}
+	fmt.Println(v)
+	return nil
+}
+
+func fmtIsExempt() {
+	fmt.Println("terminal write errors are not recoverable state")
+}
+
+func noErrorNoProblem() {
+	pureCall()
+}

@@ -1,0 +1,59 @@
+// Package maprange exercises nvlint's maprange analyzer. The harness in
+// analysis_test.go loads it under a simulation-visible import path and
+// checks the reported diagnostics against the `// want` annotations.
+package maprange
+
+import "sort"
+
+func plainRange(m map[uint64]uint64) uint64 {
+	var last uint64
+	for _, v := range m { // want "map iteration order is randomised"
+		last = v
+	}
+	return last
+}
+
+func collectThenSort(m map[uint64]uint64) []uint64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func guardedCollect(m, other map[uint64]uint64) []uint64 {
+	var keys []uint64
+	for k := range m {
+		if _, dup := other[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectWithoutSort(m map[uint64]uint64) []uint64 {
+	var keys []uint64
+	for k := range m { // want "map iteration order is randomised"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func suppressedSum(m map[uint64]uint64) uint64 {
+	var sum uint64
+	//nvlint:allow maprange commutative sum, exercised by the analyzer tests
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceRangeIsFine(s []uint64) uint64 {
+	var sum uint64
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,15 @@
+// Package suppress exercises the suppression machinery: an
+// //nvlint:allow without a reason is itself a finding and does not cancel
+// the diagnostic it was meant to hide. The harness checks this package's
+// diagnostics programmatically (no // want annotations: a trailing comment
+// on the allow line would become its reason).
+package suppress
+
+func sum(m map[uint64]uint64) uint64 {
+	var s uint64
+	//nvlint:allow maprange
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+// Package wallclock exercises nvlint's wallclock analyzer: ambient time
+// and entropy sources are forbidden in simulation-visible code.
+package wallclock
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func readsClock() int64 {
+	t := time.Now() // want "is forbidden in simulation-visible code"
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "is forbidden in simulation-visible code"
+}
+
+func pid() int {
+	return os.Getpid() // want "ambient entropy breaks replay"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "use sim.NewRNG with an explicit seed"
+}
+
+func cryptoRand(buf []byte) {
+	_, _ = crand.Read(buf) // want "use sim.NewRNG with an explicit seed"
+}
+
+func durationsAreFine() time.Duration {
+	return 5 * time.Millisecond
+}
+
+func otherOSCallsAreFine() {
+	h, _ := os.Hostname()
+	fmt.Println(h)
+}
+
+func suppressedClock() int64 {
+	//nvlint:allow wallclock startup banner only, never feeds simulated state
+	return time.Now().Unix()
+}

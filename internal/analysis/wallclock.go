@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids ambient entropy in simulation-visible packages: wall
+// clocks, timers, the implicitly seeded global math/rand generator, process
+// ids, and crypto randomness. Simulated time comes from sim.Clocks and
+// randomness from sim.RNG, both seeded explicitly, so that a (seed, flags)
+// pair replays bit-identically across runs, machines, and Go versions.
+var WallClock = &Analyzer{
+	Name:  "wallclock",
+	Doc:   "simulation-visible code must use sim clocks and sim.RNG, not ambient time/entropy",
+	Match: simVisible,
+	Run:   runWallClock,
+}
+
+// forbiddenFuncs maps package path -> function name -> replacement hint.
+// An empty inner map forbids every reference to the package.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "use the sim.Clocks cycle count",
+		"Since":     "use the sim.Clocks cycle count",
+		"Until":     "use the sim.Clocks cycle count",
+		"Sleep":     "simulated time does not pass in wall-clock sleeps",
+		"After":     "use the sim.Clocks cycle count",
+		"Tick":      "use the sim.Clocks cycle count",
+		"NewTicker": "use the sim.Clocks cycle count",
+		"NewTimer":  "use the sim.Clocks cycle count",
+		"AfterFunc": "use the sim.Clocks cycle count",
+	},
+	"os": {
+		"Getpid":  "ambient entropy breaks replay",
+		"Getppid": "ambient entropy breaks replay",
+	},
+	"math/rand":    {}, // any use: the global source is implicitly seeded
+	"math/rand/v2": {},
+	"crypto/rand":  {},
+}
+
+func runWallClock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			funcs, banned := forbiddenFuncs[path]
+			if !banned {
+				return true
+			}
+			if len(funcs) == 0 {
+				pass.Reportf(sel.Pos(), "%s.%s: %s is forbidden in simulation-visible code; use sim.NewRNG with an explicit seed", id.Name, sel.Sel.Name, path)
+				return true
+			}
+			if hint, bad := funcs[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(), "%s.%s is forbidden in simulation-visible code; %s", path, sel.Sel.Name, hint)
+			}
+			return true
+		})
+	}
+}

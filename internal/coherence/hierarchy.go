@@ -13,6 +13,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -571,6 +572,7 @@ func (h *Hierarchy) FlushVD(vd int) []cache.Line {
 	for _, ln := range dirty {
 		h.mergeIntoLLC(ln)
 	}
+	//nvlint:allow maprange per-entry update/delete, each directory entry is handled independently
 	for addr, e := range h.dir {
 		e.sharers &^= uint64(1) << vd
 		if e.owner == vd {
@@ -652,8 +654,15 @@ func (h *Hierarchy) CheckInvariants() error {
 			return err
 		}
 	}
-	// At most one writable VD per address.
-	for addr, e := range h.dir {
+	// At most one writable VD per address. Walk the directory in address
+	// order so the first violation reported is stable across runs.
+	addrs := make([]uint64, 0, len(h.dir))
+	for addr := range h.dir {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		e := h.dir[addr]
 		if e.owner != -1 && e.sharers&(uint64(1)<<e.owner) != 0 {
 			return fmt.Errorf("addr %#x: owner %d also listed as sharer", addr, e.owner)
 		}

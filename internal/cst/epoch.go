@@ -32,6 +32,15 @@ func NewWrapSpace(width uint) *WrapSpace {
 	return &WrapSpace{width: width, senseUAhead: false}
 }
 
+// WireEpoch is a fixed-width epoch value as it appears on the wire and in
+// cache tags: it wraps around, so raw <, >, +, - on it are meaningless —
+// wire 0 may be logically *ahead* of wire 65535. All ordering must go
+// through the wrap-safe WrapSpace helpers below; nvlint's epochwrap check
+// enforces this mechanically.
+//
+// nvlint:wrapsensitive
+type WireEpoch uint64
+
 // Size returns the number of representable wire epochs.
 func (w *WrapSpace) Size() uint64 { return 1 << w.width }
 
@@ -39,14 +48,25 @@ func (w *WrapSpace) Size() uint64 { return 1 << w.width }
 func (w *WrapSpace) Half() uint64 { return 1 << (w.width - 1) }
 
 // Wire maps a monotonically increasing logical epoch onto the wire space.
-func (w *WrapSpace) Wire(logical uint64) uint64 { return logical & (w.Size() - 1) }
+func (w *WrapSpace) Wire(logical uint64) WireEpoch {
+	return WireEpoch(logical & (w.Size() - 1))
+}
 
-// GroupU reports whether a wire value belongs to the upper group.
-func (w *WrapSpace) GroupU(wire uint64) bool { return wire >= w.Half() }
+// GroupU reports whether a wire value belongs to the upper group. The raw
+// comparison is legal here: group membership is a property of the wire
+// value itself, not an ordering between two wrapped values.
+//
+// nvlint:wrapsafe
+func (w *WrapSpace) GroupU(wire WireEpoch) bool { return wire >= WireEpoch(w.Half()) }
 
 // Less compares two wire epochs under the current sense bit. Within a group
-// ordering is numeric; across groups the sense bit decides.
-func (w *WrapSpace) Less(a, b uint64) bool {
+// ordering is numeric; across groups the sense bit decides. This is the
+// designated ordering helper for WireEpoch values: the raw < below is only
+// correct because the sense-bit protocol guarantees inter-VD skew stays
+// under half the space (§IV-D).
+//
+// nvlint:wrapsafe
+func (w *WrapSpace) Less(a, b WireEpoch) bool {
 	ga, gb := w.GroupU(a), w.GroupU(b)
 	if ga == gb {
 		return a < b
@@ -69,7 +89,7 @@ func (w *WrapSpace) Flips() int { return w.flips }
 // guarantee that no cache lines remain tagged with epochs of that "new"
 // group (the frontend flushes residual tags) before the sense bit flips,
 // recycling the vacated group's numbers ahead of the current group.
-func (w *WrapSpace) OnGroupTransition(newWire uint64) {
+func (w *WrapSpace) OnGroupTransition(newWire WireEpoch) {
 	enteringU := w.GroupU(newWire)
 	if enteringU != w.senseUAhead {
 		w.senseUAhead = enteringU
@@ -79,6 +99,6 @@ func (w *WrapSpace) OnGroupTransition(newWire uint64) {
 
 // CrossesGroup reports whether advancing from wire epoch a to b crosses the
 // group boundary (requiring the flush-and-flip protocol above).
-func (w *WrapSpace) CrossesGroup(a, b uint64) bool {
+func (w *WrapSpace) CrossesGroup(a, b WireEpoch) bool {
 	return w.GroupU(a) != w.GroupU(b)
 }

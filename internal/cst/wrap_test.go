@@ -12,7 +12,7 @@ func TestWrapSpace16BitBoundary(t *testing.T) {
 	}
 	wires := []struct {
 		logical uint64
-		wire    uint64
+		wire    WireEpoch
 		groupU  bool
 	}{
 		{32767, 32767, false},
@@ -71,13 +71,13 @@ func TestWrapSpace16BitBoundary(t *testing.T) {
 func TestOIDBoundaryWrapFrontend(t *testing.T) {
 	cases := []struct {
 		name        string
-		start       uint64   // cur-epoch warped in before the first store
-		wantWires   []uint64 // wire of cur after each of the stores
+		start       uint64      // cur-epoch warped in before the first store
+		wantWires   []WireEpoch // wire of cur after each of the stores
 		wantFlushes int
 	}{
-		{"wrap 65534-65535-0", 65534, []uint64{65535, 0, 1, 2}, 1},
-		{"cross half 32767-32768", 32766, []uint64{32767, 32768, 32769, 32770}, 1},
-		{"same group control", 100, []uint64{101, 102, 103, 104}, 0},
+		{"wrap 65534-65535-0", 65534, []WireEpoch{65535, 0, 1, 2}, 1},
+		{"cross half 32767-32768", 32766, []WireEpoch{32767, 32768, 32769, 32770}, 1},
+		{"same group control", 100, []WireEpoch{101, 102, 103, 104}, 0},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -355,9 +355,11 @@ func runPrefix(p Params, n int) *Divergence {
 // run; divergence reports need stable text.
 func diffImages(got, want map[uint64]uint64) string {
 	addrs := make(map[uint64]bool, len(got)+len(want))
+	//nvlint:allow maprange building an address set; sortedAddrs2 orders it before rendering
 	for a := range got {
 		addrs[a] = true
 	}
+	//nvlint:allow maprange building an address set; sortedAddrs2 orders it before rendering
 	for a := range want {
 		addrs[a] = true
 	}

@@ -67,6 +67,7 @@ func (g *Golden) Addrs() []uint64 {
 // Final returns the crash-free final image: the last write per address.
 func (g *Golden) Final() map[uint64]uint64 {
 	img := make(map[uint64]uint64, len(g.hist))
+	//nvlint:allow maprange map-to-map build keyed by the source map, order-independent
 	for a, h := range g.hist {
 		img[a] = h[len(h)-1].data
 	}
@@ -79,6 +80,7 @@ func (g *Golden) Final() map[uint64]uint64 {
 // recoverable epoch equals epoch.
 func (g *Golden) ImageAt(epoch uint64) map[uint64]uint64 {
 	img := make(map[uint64]uint64, len(g.hist))
+	//nvlint:allow maprange map-to-map build keyed by the source map, order-independent
 	for a, h := range g.hist {
 		// Per-address epochs are non-decreasing, so the writes with tag
 		// <= epoch form a prefix of the history.

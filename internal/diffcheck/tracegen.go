@@ -32,11 +32,11 @@ type Params struct {
 	EpochSize  int // stores per epoch (per VD for NVOverlay, global for baselines)
 	Pattern    string
 
-	Walker   bool // NVOverlay tag walker (min-ver reports need it)
-	Buffered bool // battery-backed OMC buffer
-	Wrap     bool // 16-bit two-group epoch wrap-around protocol
+	Walker    bool // NVOverlay tag walker (min-ver reports need it)
+	Buffered  bool // battery-backed OMC buffer
+	Wrap      bool // 16-bit two-group epoch wrap-around protocol
 	WrapWidth uint
-	OMCs     int
+	OMCs      int
 
 	CrashPoints int // swept mid-run crash probes
 }
@@ -97,7 +97,7 @@ func (p Params) Config() sim.Config {
 	cfg.TagWalker = p.Walker
 	cfg.OMCBuffer = p.Buffered
 	cfg.OMCBufferSize = 2 << 10 // small: force buffer evictions
-	cfg.NVMPoolPages = 0       // unbounded pool, no compaction: exact retention
+	cfg.NVMPoolPages = 0        // unbounded pool, no compaction: exact retention
 	cfg.WrapEpochs = p.Wrap
 	if p.Wrap {
 		cfg.WrapWidth = p.WrapWidth

@@ -22,6 +22,12 @@ type Scale struct {
 	Name        string
 	MaxAccesses uint64
 	EpochSize   int // stores per epoch
+	// Seed, when non-zero, overrides sim.Config.Seed for every run at
+	// this scale. All workload randomness flows from this one value
+	// through sim's seeded PRNG, so a (seed, flags) pair replays
+	// bit-identically; there is no ambient math/rand anywhere (nvlint's
+	// wallclock check keeps it that way).
+	Seed int64
 	// Machine, when non-nil, shrinks the cache hierarchy so the paper's
 	// capacity relationships hold at reduced run length: the per-epoch
 	// write set must exceed an L2 but fit the LLC, exactly as 1M-store
@@ -95,6 +101,9 @@ type RunResult struct {
 func Run(schemeName, wlName string, scale Scale, cfgMod func(*sim.Config)) (RunResult, error) {
 	cfg := sim.DefaultConfig()
 	cfg.EpochSize = scale.EpochSize
+	if scale.Seed != 0 {
+		cfg.Seed = scale.Seed
+	}
 	if scale.Machine != nil {
 		scale.Machine(&cfg)
 	}

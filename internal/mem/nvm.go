@@ -220,6 +220,7 @@ func (n *NVM) TotalWrites() int64 {
 // MaxWear returns the highest per-page write count (endurance proxy).
 func (n *NVM) MaxWear() int64 {
 	var m int64
+	//nvlint:allow maprange commutative max over wear counters
 	for _, w := range n.wear {
 		if w > m {
 			m = w

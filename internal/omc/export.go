@@ -152,6 +152,7 @@ func (sf *SnapshotFile) ReadAt(addr, epoch uint64) (uint64, bool) {
 	var best uint64
 	found := false
 	var bestEpoch uint64
+	//nvlint:allow maprange commutative max-selection: the largest qualifying epoch wins regardless of visit order
 	for e, delta := range sf.Deltas {
 		if e > epoch || (found && e <= bestEpoch) {
 			continue

@@ -1,6 +1,8 @@
 package omc
 
 import (
+	"sort"
+
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -110,6 +112,7 @@ func (g *Group) RecoverImage() (map[uint64]uint64, uint64) {
 	var lat uint64
 	for _, o := range g.omcs {
 		part, l := o.RecoverImage()
+		//nvlint:allow maprange map-to-map merge: partitions are address-disjoint, order-independent
 		for a, d := range part {
 			img[a] = d
 		}
@@ -132,6 +135,7 @@ func (g *Group) MasterRead(addr uint64) (uint64, bool) {
 func (g *Group) EpochDelta(e uint64) map[uint64]uint64 {
 	delta := make(map[uint64]uint64)
 	for _, o := range g.omcs {
+		//nvlint:allow maprange map-to-map merge: partitions are address-disjoint, order-independent
 		for a, d := range o.EpochDelta(e) {
 			delta[a] = d
 		}
@@ -140,7 +144,8 @@ func (g *Group) EpochDelta(e uint64) map[uint64]uint64 {
 }
 
 // Epochs returns the union of accessible epoch ids across partitions,
-// unsorted and deduplicated.
+// deduplicated and sorted ascending so exports and replication walk the
+// epochs in a byte-stable order.
 func (g *Group) Epochs() []uint64 {
 	seen := map[uint64]bool{}
 	var out []uint64
@@ -152,6 +157,7 @@ func (g *Group) Epochs() []uint64 {
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -372,9 +372,11 @@ func (o *OMC) TimeTravelRead(addr uint64, epoch uint64) (data uint64, foundEpoch
 		data, foundEpoch, ok = d, e, true
 		return true
 	}
+	//nvlint:allow maprange commutative max-selection: lookup keeps the largest qualifying epoch regardless of visit order
 	for e, t := range o.epochs {
 		lookup(e, t)
 	}
+	//nvlint:allow maprange commutative max-selection: lookup keeps the largest qualifying epoch regardless of visit order
 	for e, t := range o.retained {
 		lookup(e, t)
 	}
@@ -418,7 +420,8 @@ func (o *OMC) EpochDelta(e uint64) map[uint64]uint64 {
 }
 
 // Epochs returns the ids of all epochs with accessible tables (unmerged
-// plus retained), unsorted.
+// plus retained), sorted ascending so reports and exports derived from it
+// are byte-stable across runs.
 func (o *OMC) Epochs() []uint64 {
 	var out []uint64
 	for e := range o.epochs {
@@ -429,6 +432,7 @@ func (o *OMC) Epochs() []uint64 {
 			out = append(out, e)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -437,7 +441,9 @@ func (o *OMC) Epochs() []uint64 {
 // pool's page-granular allocation.
 func (o *OMC) SubpageBytes() int64 {
 	var total int64
+	//nvlint:allow maprange commutative sum: addition is order-independent
 	for _, vp := range o.vpageCounts {
+		//nvlint:allow maprange commutative sum: addition is order-independent
 		for _, count := range vp {
 			total += int64(SubpageSize(count, o.cfg.LineSize, o.cfg.PageSize))
 		}

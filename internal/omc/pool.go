@@ -1,6 +1,9 @@
 package omc
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // NVM address-space layout for MNM structures. Each OMC owns a disjoint
 // region keyed by its id, so multi-OMC configurations never collide.
@@ -164,6 +167,7 @@ func (p *Pool) OverQuota() bool { return p.quota > 0 && p.allocated > p.quota }
 func (p *Pool) OldestEpochWithPages() (uint64, bool) {
 	var oldest uint64
 	found := false
+	//nvlint:allow maprange commutative min-selection over page epochs
 	for _, info := range p.pages {
 		if !found || info.epoch < oldest {
 			oldest = info.epoch
@@ -173,7 +177,8 @@ func (p *Pool) OldestEpochWithPages() (uint64, bool) {
 	return oldest, found
 }
 
-// PagesOfEpoch returns the bases of pages holding the given epoch's versions.
+// PagesOfEpoch returns the bases of pages holding the given epoch's
+// versions, sorted ascending so compaction visits pages deterministically.
 func (p *Pool) PagesOfEpoch(epoch uint64) []uint64 {
 	var out []uint64
 	for base, info := range p.pages {
@@ -181,6 +186,7 @@ func (p *Pool) PagesOfEpoch(epoch uint64) []uint64 {
 			out = append(out, base)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

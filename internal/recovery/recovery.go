@@ -40,7 +40,16 @@ func Verify(img, golden map[uint64]uint64) error {
 	if len(img) != len(golden) {
 		return fmt.Errorf("recovery: image has %d lines, golden has %d", len(img), len(golden))
 	}
-	for addr, want := range golden {
+	// Walk the golden image in address order so the first divergence
+	// reported is the same on every run (map order would make the error
+	// text nondeterministic).
+	addrs := make([]uint64, 0, len(golden))
+	for addr := range golden {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		want := golden[addr]
 		got, ok := img[addr]
 		if !ok {
 			return fmt.Errorf("recovery: line %#x missing from image", addr)
@@ -76,6 +85,7 @@ func NewReplica() *Replica {
 // applies them in epoch order.
 func (r *Replica) Receive(e uint64, delta map[uint64]uint64) {
 	cp := make(map[uint64]uint64, len(delta))
+	//nvlint:allow maprange map copy plus size accounting, order-independent
 	for a, d := range delta {
 		cp[a] = d
 		r.BytesReceived += 64 // one line per entry on the wire
@@ -95,6 +105,7 @@ func (r *Replica) ReplayTo(target uint64) int {
 	}
 	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
 	for _, e := range epochs {
+		//nvlint:allow maprange redo-log apply into a map: last write per address within one epoch delta is unique
 		for a, d := range r.pending[e] {
 			r.image[a] = d
 		}
