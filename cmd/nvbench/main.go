@@ -27,6 +27,7 @@ func main() {
 		scale  = flag.String("scale", "quick", "run scale: smoke, quick, full")
 		wlCSV  = flag.String("workloads", "", "comma-separated workload subset (default: all twelve)")
 		seed   = flag.Int64("seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
+		faults = flag.String("faults", "", "NVM fault-injection class for NVOverlay runs (torn, flip, loss, nak, all); the fault schedule derives from -seed and replays byte-identically")
 		timing = flag.Bool("time", true, "print wall-clock duration per experiment")
 	)
 	flag.Parse()
@@ -36,6 +37,7 @@ func main() {
 		fatal(err)
 	}
 	sc.Seed = *seed
+	sc.FaultClass = *faults
 	var wls []string
 	if *wlCSV != "" {
 		wls = strings.Split(*wlCSV, ",")

@@ -1,29 +1,41 @@
 // Command nvcheck runs the differential verification harness outside the
-// test suite: long soak sweeps over the regime rotation, or a single fully
+// test suite: long soak sweeps over the regime rotation, fault-injection
+// soaks over the crash-point x fault-class grid, or a single fully
 // specified trace (the mode every divergence reproducer uses). Exit status
-// is non-zero when any trace diverges from the golden model.
+// is non-zero when any trace diverges from the golden model, and soak runs
+// flush their partial tallies before exiting when interrupted.
 //
-//	nvcheck -traces 5000 -seed 1          # soak: 5000 traces over the rotation
-//	nvcheck -seed 17 -cores 4 -steps 1400 # single trace, explicit parameters
+//	nvcheck -traces 5000 -seed 1           # soak: 5000 traces over the rotation
+//	nvcheck -seed 17 -cores 4 -steps 1400  # single trace, explicit parameters
+//	nvcheck -faults -fseeds 4              # fault soak: classes x seeds x crash points
+//	nvcheck -seed 3 -fault torn -crash 8   # single faulted trace (reproducer mode)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/diffcheck"
+	"repro/internal/fault"
 )
 
 // options is the parsed command line.
 type options struct {
-	traces int
-	seed   int64
-	every  int
-	single bool             // an explicit per-trace flag switches to single-trace mode
-	p      diffcheck.Params // single-trace parameters
+	traces  int
+	seed    int64
+	every   int
+	faults  bool             // fault-soak mode: sweep the fault grid
+	classes string           // comma-separated fault classes for the soak
+	fseeds  int              // seeds per fault class in the soak
+	single  bool             // an explicit per-trace flag switches to single-trace mode
+	p       diffcheck.Params // single-trace parameters
 }
 
 // traceFlags are the per-trace parameter flags; setting any of them runs
@@ -32,7 +44,7 @@ var traceFlags = map[string]bool{
 	"cores": true, "vdcores": true, "steps": true, "lines": true,
 	"share": true, "write": true, "epoch": true, "pattern": true,
 	"omcs": true, "crash": true, "nowalker": true, "buffer": true,
-	"wrap": true, "wrapwidth": true,
+	"wrap": true, "wrapwidth": true, "fault": true,
 }
 
 // parseFlags decodes the command line without touching the process-global
@@ -44,6 +56,9 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.traces, "traces", 600, "traces to sweep across the regime rotation")
 	fs.Int64Var(&o.seed, "seed", 1, "base seed (sweep) or trace seed (single mode)")
 	fs.IntVar(&o.every, "every", 100, "print progress every N traces")
+	fs.BoolVar(&o.faults, "faults", false, "fault soak: sweep fault classes x seeds x crash points")
+	fs.StringVar(&o.classes, "fclasses", "torn,flip,loss,nak,all", "fault classes for the -faults soak")
+	fs.IntVar(&o.fseeds, "fseeds", 4, "seeds per fault class in the -faults soak")
 
 	base := diffcheck.RegimeParams(0, 0)
 	fs.IntVar(&o.p.Cores, "cores", base.Cores, "cores (single-trace mode)")
@@ -60,6 +75,7 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.p.Buffered, "buffer", false, "enable the battery-backed OMC buffer")
 	fs.BoolVar(&o.p.Wrap, "wrap", false, "enable the epoch wrap-around protocol")
 	wrapWidth := fs.Uint("wrapwidth", 5, "epoch wire width in bits (with -wrap)")
+	fs.StringVar(&o.p.Fault, "fault", "", "fault class for a single faulted trace (torn, flip, loss, nak, all)")
 
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -72,6 +88,9 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 			o.single = true
 		}
 	})
+	if o.faults && o.single {
+		return options{}, fmt.Errorf("nvcheck: -faults soak and single-trace flags are mutually exclusive")
+	}
 	o.p.Seed = o.seed
 	o.p.Walker = !*nowalker
 	o.p.WrapWidth = uint(*wrapWidth)
@@ -80,15 +99,91 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 			return options{}, err
 		}
 	}
+	if o.faults {
+		if o.fseeds <= 0 {
+			return options{}, fmt.Errorf("nvcheck: -fseeds must be positive, got %d", o.fseeds)
+		}
+		for _, c := range strings.Split(o.classes, ",") {
+			if c == "" || !fault.ValidClass(c) {
+				return options{}, fmt.Errorf("nvcheck: unknown fault class %q in -fclasses", c)
+			}
+		}
+	}
 	return o, nil
+}
+
+// faultTally accumulates fault-soak results across regimes so a partial
+// flush on interrupt still reports everything completed so far.
+type faultTally struct {
+	regimes, cells, restored, walkedBack, refused, events int
+}
+
+func (ft *faultTally) add(res diffcheck.FaultResult) {
+	ft.regimes++
+	ft.cells += len(res.Points)
+	ft.restored += res.Restored
+	ft.walkedBack += res.WalkedBack
+	ft.refused += res.Refusals
+	ft.events += res.Events
+}
+
+func (ft *faultTally) flush(w io.Writer, elapsed time.Duration) {
+	fmt.Fprintf(w, "fault soak: %d regimes, %d cells (%d restored, %d walked back, %d refused), %d faults injected, 0 silent corruptions (%v)\n",
+		ft.regimes, ft.cells, ft.restored, ft.walkedBack, ft.refused, ft.events, elapsed.Round(time.Millisecond))
+}
+
+// runFaults executes the fault-soak grid: every configured class x fseeds
+// seeds, each swept across its crash points by RunFaulted. The tally is
+// flushed even when a regime diverges or the context is cancelled, and
+// both of those paths return a non-nil error so main exits non-zero.
+func runFaults(ctx context.Context, o options, w io.Writer) error {
+	start := time.Now()
+	var ft faultTally
+	for _, class := range strings.Split(o.classes, ",") {
+		for s := 0; s < o.fseeds; s++ {
+			if err := ctx.Err(); err != nil {
+				ft.flush(w, time.Since(start))
+				return fmt.Errorf("interrupted after %d regimes", ft.regimes)
+			}
+			p := diffcheck.FaultRegimeParams(class, o.seed+int64(s))
+			res, d := diffcheck.RunFaulted(p)
+			if d != nil {
+				fmt.Fprintln(w, d.Error())
+				ft.flush(w, time.Since(start))
+				return fmt.Errorf("fault regime class=%s seed=%d diverged", class, p.Seed)
+			}
+			ft.add(res)
+		}
+		if o.every > 0 {
+			fmt.Fprintf(w, "class %s ok (%d regimes so far, %v)\n",
+				class, ft.regimes, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	ft.flush(w, time.Since(start))
+	return nil
 }
 
 // run executes the requested sweep or single trace, reporting to w. A
 // divergence is printed in full (with its reproducer) and returned as an
-// error so main can exit non-zero.
-func run(o options, w io.Writer) error {
+// error so main can exit non-zero; an interrupted soak flushes its partial
+// tally first.
+func run(ctx context.Context, o options, w io.Writer) error {
 	start := time.Now()
+	if o.faults {
+		return runFaults(ctx, o, w)
+	}
 	if o.single {
+		if o.p.Fault != "" {
+			res, d := diffcheck.RunFaulted(o.p)
+			if d != nil {
+				fmt.Fprintln(w, d.Error())
+				return fmt.Errorf("1 divergence")
+			}
+			fmt.Fprintf(w, "faulted trace ok: %d cells (%d restored, %d walked back, %d refused), %d faults injected\n",
+				len(res.Points), res.Restored, res.WalkedBack, res.Refusals, res.Events)
+			fmt.Fprintf(w, "0 divergences in 1 trace (%v)\n", time.Since(start).Round(time.Millisecond))
+			return nil
+		}
 		res, d := diffcheck.Run(o.p)
 		if d != nil {
 			fmt.Fprintln(w, d.Error())
@@ -102,10 +197,17 @@ func run(o options, w io.Writer) error {
 	}
 	var boundary, crash int
 	for i := 0; i < o.traces; i++ {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(w, "interrupted: %d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
+				i, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
+			return fmt.Errorf("interrupted after %d traces", i)
+		}
 		p := diffcheck.RegimeParams(i, o.seed)
 		res, d := diffcheck.Run(p)
 		if d != nil {
 			fmt.Fprintln(w, d.Error())
+			fmt.Fprintf(w, "interrupted: %d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
+				i, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
 			return fmt.Errorf("divergence at trace %d of %d", i+1, o.traces)
 		}
 		boundary += res.BoundaryVerifies
@@ -126,7 +228,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(o, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func TestSweepMode(t *testing.T) {
 		t.Fatal("sweep flags triggered single-trace mode")
 	}
 	var out strings.Builder
-	if err := run(o, &out); err != nil {
+	if err := run(context.Background(), o, &out); err != nil {
 		t.Fatalf("sweep failed: %v\n%s", err, out.String())
 	}
 	for _, want := range []string{"3/6 traces ok", "6/6 traces ok", "0 divergences in 6 traces"} {
@@ -38,13 +39,80 @@ func TestSingleTraceMode(t *testing.T) {
 		t.Fatalf("params misparsed: %+v", o.p)
 	}
 	var out strings.Builder
-	if err := run(o, &out); err != nil {
+	if err := run(context.Background(), o, &out); err != nil {
 		t.Fatalf("single trace failed: %v\n%s", err, out.String())
 	}
 	for _, want := range []string{"trace ok:", "wrap-flushes=", "0 divergences in 1 trace"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestSingleFaultedTrace(t *testing.T) {
+	args := strings.Fields("-seed 3 -cores 4 -vdcores 2 -steps 600 -lines 48 -share 30 -write 60 -epoch 12 -pattern uniform -omcs 2 -crash 8 -fault torn")
+	o, err := parseFlags(args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.single || o.p.Fault != "torn" {
+		t.Fatalf("fault flag misparsed: %+v", o.p)
+	}
+	var out strings.Builder
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("faulted trace failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"faulted trace ok:", "faults injected", "0 divergences in 1 trace"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFaultSoakMode(t *testing.T) {
+	o, err := parseFlags([]string{"-faults", "-fclasses", "torn,loss", "-fseeds", "2", "-seed", "5"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("fault soak failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"class torn ok", "class loss ok", "fault soak: 4 regimes", "0 silent corruptions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestInterruptFlushesPartialResults: a cancelled soak must flush its tally
+// so far and exit non-zero rather than vanishing mid-run.
+func TestInterruptFlushesPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupt before the first regime
+
+	o, err := parseFlags([]string{"-faults", "-fclasses", "torn", "-fseeds", "1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(ctx, o, &out); err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted fault soak must error, got %v", err)
+	}
+	if !strings.Contains(out.String(), "fault soak: 0 regimes") {
+		t.Fatalf("partial tally not flushed:\n%s", out.String())
+	}
+
+	o, err = parseFlags([]string{"-traces", "4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(ctx, o, &out); err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted sweep must error, got %v", err)
+	}
+	if !strings.Contains(out.String(), "interrupted: 0/4 traces ok") {
+		t.Fatalf("partial tally not flushed:\n%s", out.String())
 	}
 }
 
@@ -58,5 +126,17 @@ func TestParseFlagErrors(t *testing.T) {
 	// Explicit trace params are validated at parse time in single mode.
 	if _, err := parseFlags([]string{"-cores", "4", "-vdcores", "3"}, io.Discard); err == nil {
 		t.Fatal("invalid trace params accepted")
+	}
+	if _, err := parseFlags([]string{"-fault", "melt"}, io.Discard); err == nil {
+		t.Fatal("unknown fault class accepted")
+	}
+	if _, err := parseFlags([]string{"-faults", "-fclasses", "torn,melt"}, io.Discard); err == nil {
+		t.Fatal("unknown soak class accepted")
+	}
+	if _, err := parseFlags([]string{"-faults", "-fseeds", "0"}, io.Discard); err == nil {
+		t.Fatal("zero fseeds accepted")
+	}
+	if _, err := parseFlags([]string{"-faults", "-cores", "4"}, io.Discard); err == nil {
+		t.Fatal("-faults combined with single-trace flags accepted")
 	}
 }

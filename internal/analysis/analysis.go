@@ -239,6 +239,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // anything here feeding stats, traces, or replay must be deterministic.
 var simVisible = prefixMatcher(
 	"repro/internal/sim",
+	"repro/internal/fault",
 	"repro/internal/cst",
 	"repro/internal/omc",
 	"repro/internal/coherence",

@@ -6,7 +6,10 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/cst"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/omc"
 	"repro/internal/sim"
@@ -51,6 +54,15 @@ func New(cfg *sim.Config, opts ...Option) *NVOverlay {
 		opt(&o)
 	}
 	nvm := mem.NewNVM(cfg)
+	if cfg.FaultClass != "" {
+		fc, err := fault.ClassConfig(cfg.FaultClass, cfg.EffectiveFaultSeed())
+		if err != nil {
+			// cfg.Validate() rejects unknown classes; reaching here means
+			// the caller skipped validation.
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		nvm.AttachFaults(fault.New(fc))
+	}
 	dram := mem.NewDRAM(cfg)
 	var gopts []omc.Option
 	if cfg.OMCBuffer {
@@ -107,8 +119,22 @@ func (n *NVOverlay) Stats() *stats.Set {
 	s.Merge(n.fe.Stats())
 	s.Merge(n.group.Stats())
 	s.Merge(n.nvm.Stats())
+	if inj := n.nvm.Injector(); inj != nil {
+		f := stats.NewSet("fault")
+		for _, c := range []fault.Class{fault.Torn, fault.BitFlip, fault.BankLoss, fault.NAK, fault.NAKDrop} {
+			f.Add("injected_"+c.String(), inj.Count(c))
+		}
+		s.Merge(f)
+	}
 	return s
 }
+
+// Injector returns the NVM fault injector, nil when fault injection is off.
+func (n *NVOverlay) Injector() *fault.Injector { return n.nvm.Injector() }
+
+// PowerCut cuts power at cycle now and returns the durable NVM image the
+// attached fault injector leaves behind; recovery.Salvage consumes it.
+func (n *NVOverlay) PowerCut(now uint64) *mem.Image { return n.nvm.PowerCut(now) }
 
 // NVM implements trace.Scheme.
 func (n *NVOverlay) NVM() *mem.NVM { return n.nvm }

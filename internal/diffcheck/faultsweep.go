@@ -1,0 +1,170 @@
+package diffcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+)
+
+// FaultPoint is the outcome of one (trace prefix, power cut) cell of the
+// fault grid.
+type FaultPoint struct {
+	Step          int    // trace step at which power was cut
+	RestoredEpoch uint64 // epoch salvage proved (0 on refusal)
+	WalkedBack    bool   // restored below the claimed epoch
+	Refused       bool   // typed-error refusal
+	Err           string // typed error text ("" on success)
+	Lines         int    // lines in the restored image
+	Events        int    // faults injected during this cell
+}
+
+// FaultResult aggregates one fault-sweep run: every crash point of the
+// trace cut under the configured fault class, salvaged, and cross-checked
+// against the golden model.
+type FaultResult struct {
+	Params     Params
+	Points     []FaultPoint
+	Restored   int // cells restoring the claimed epoch cleanly
+	WalkedBack int // cells that salvaged an older sealed epoch
+	Refusals   int // cells refusing with a typed error
+	Events     int // total faults injected across cells
+	// Schedule is the concatenated canonical fault schedule of every
+	// cell. Byte-identical across replays of the same Params.
+	Schedule string
+}
+
+// faultCuts returns the power-cut schedule: every swept crash point plus
+// the full trace length (cut after the final drain-less step).
+func faultCuts(p Params) []int {
+	cuts := make([]int, 0, p.CrashPoints+1)
+	for i := 1; i <= p.CrashPoints; i++ {
+		cuts = append(cuts, i*p.Steps/(p.CrashPoints+1))
+	}
+	return append(cuts, p.Steps)
+}
+
+// RunFaulted sweeps power cuts across the trace under the configured fault
+// class. Every cell must satisfy the salvage-or-refuse contract; the first
+// violation is returned as a Divergence with a deterministic reproducer.
+func RunFaulted(p Params) (FaultResult, *Divergence) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	res := FaultResult{Params: p}
+	var sched strings.Builder
+	for _, cut := range faultCuts(p) {
+		pt, cellSched, d := RunFaultPoint(p, cut, nil)
+		if d != nil {
+			return res, d
+		}
+		res.Points = append(res.Points, pt)
+		res.Events += pt.Events
+		switch {
+		case pt.Refused:
+			res.Refusals++
+		case pt.WalkedBack:
+			res.WalkedBack++
+		default:
+			res.Restored++
+		}
+		fmt.Fprintf(&sched, "# cut=%d\n%s\n", cut, cellSched)
+	}
+	res.Schedule = sched.String()
+	return res, nil
+}
+
+// RunFaultPoint replays the first cut steps, cuts power under the fault
+// injector, optionally mutates the surviving image further (the fuzz
+// harness's hook), and salvages. The contract it enforces is the PR's
+// acceptance bar: salvage either restores an image byte-equal to the
+// golden model at exactly its reported epoch, or refuses with a typed
+// error and a non-empty report — never a silently wrong image.
+func RunFaultPoint(p Params, cut int, mutate func(*mem.Image)) (FaultPoint, string, *Divergence) {
+	cfg := p.Config()
+	ops := p.Ops()[:cut]
+	nv := core.New(&cfg, core.WithRetention(), core.WithOMCs(p.OMCs))
+	clocks := sim.NewClocks(cfg.Cores)
+	nv.Bind(clocks)
+	g := NewGolden()
+	div := func(kind string, format string, args ...interface{}) *Divergence {
+		return &Divergence{Params: p, Scheme: "NVOverlay+fault", Kind: kind, Step: cut - 1,
+			Detail: fmt.Sprintf(format, args...)}
+	}
+	for i, op := range ops {
+		lat := nv.Access(op.Tid, op.Addr, op.Write, op.Data)
+		clocks.Advance(op.Tid, lat+pipelineCost)
+		if op.Write {
+			oid := nv.LastStoreOID()
+			if oid == 0 {
+				return FaultPoint{}, "", div("store-oid", "store to %#x was assigned no epoch tag at step %d", op.Addr, i)
+			}
+			if err := g.Store(i, cfg.LineAddr(op.Addr), oid, op.Data); err != nil {
+				return FaultPoint{}, "", div("epoch-monotonicity", "%v", err)
+			}
+		}
+	}
+	img := nv.PowerCut(clocks.Max())
+	if mutate != nil {
+		mutate(img)
+	}
+	pt := FaultPoint{Step: cut}
+	sched := ""
+	if inj := nv.Injector(); inj != nil {
+		pt.Events = inj.Total()
+		sched = inj.Schedule()
+	}
+	restored, rep, err := recovery.Salvage(img)
+	if err != nil {
+		if !errors.Is(err, recovery.ErrTornEpoch) &&
+			!errors.Is(err, recovery.ErrChecksum) &&
+			!errors.Is(err, recovery.ErrUnrecoverable) {
+			return pt, sched, div("untyped-error", "salvage failed with untyped error: %v", err)
+		}
+		if !rep.NonEmpty() || !rep.Refused {
+			return pt, sched, div("empty-salvage-report", "refusal without findings: %v", err)
+		}
+		pt.Refused = true
+		pt.Err = err.Error()
+		return pt, sched, nil
+	}
+	if rep == nil {
+		return pt, sched, div("missing-salvage-report", "salvage succeeded without a report")
+	}
+	want := g.ImageAt(rep.RestoredEpoch)
+	if verr := recovery.Verify(restored, want); verr != nil {
+		return pt, sched, div("silent-corruption",
+			"salvaged image claims epoch %d (walked_back=%v) but diverges from golden: %v\n  %s",
+			rep.RestoredEpoch, rep.WalkedBack, verr, diffImages(restored, want))
+	}
+	pt.RestoredEpoch = rep.RestoredEpoch
+	pt.WalkedBack = rep.WalkedBack
+	pt.Lines = rep.LinesRestored
+	return pt, sched, nil
+}
+
+// FaultRegimeParams is the canonical compact trace of the fault grid: big
+// enough to seal multiple epochs per partition and keep bank queues busy,
+// small enough that a 4-class x 8-cut x 4-seed grid runs inside the test
+// budget.
+func FaultRegimeParams(class string, seed int64) Params {
+	return Params{
+		Seed:        seed,
+		Cores:       4,
+		CoresPerVD:  2,
+		Steps:       600,
+		Lines:       48,
+		SharePct:    30,
+		WritePct:    60,
+		EpochSize:   12,
+		Pattern:     PatternUniform,
+		Walker:      true,
+		OMCs:        2,
+		CrashPoints: 8,
+		Fault:       class,
+	}
+}

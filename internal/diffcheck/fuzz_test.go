@@ -1,6 +1,11 @@
 package diffcheck
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
 
 // clampParams maps arbitrary fuzz inputs onto a valid Params value. Every
 // clamped field stays inside Validate()'s envelope, so the fuzzer explores
@@ -53,6 +58,44 @@ func FuzzDifferentialTrace(f *testing.F) {
 			t.Fatalf("clamp produced invalid params: %v (%+v)", err, p)
 		}
 		if _, d := Run(p); d != nil {
+			t.Fatal(d.Error())
+		}
+	})
+}
+
+// FuzzFaultedRecovery mutates a persisted NVM image — fault-injected power
+// cut, then fuzzer-directed bit flips and word deletions on top — and
+// asserts the salvage-or-refuse contract: recovery either restores an image
+// byte-equal to a golden-verified epoch or returns a typed error with a
+// non-empty report. It must never hand back a silently wrong image.
+func FuzzFaultedRecovery(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(200), uint64(0), uint64(0), uint8(0))
+	f.Add(int64(2), uint8(1), uint16(350), uint64(3), uint64(1<<43), uint8(9))
+	f.Add(int64(3), uint8(2), uint16(500), uint64(7), uint64(1<<41), uint8(63))
+	f.Add(int64(4), uint8(3), uint16(420), uint64(2), uint64(1<<40), uint8(17))
+	f.Add(int64(5), uint8(4), uint16(600), uint64(5), uint64(1<<44), uint8(31))
+	f.Fuzz(func(t *testing.T, seed int64, class uint8, cut uint16, mutCount, mutAddr uint64, mutBit uint8) {
+		classes := append([]string{""}, fault.Classes...)
+		p := FaultRegimeParams(classes[int(class)%len(classes)], seed)
+		c := 1 + int(cut)%p.Steps
+		// The mutator walks the image's persisted words from a fuzzer-chosen
+		// offset, alternating bit flips and deletions — torn-looking damage
+		// the injector itself did not schedule.
+		mutate := func(img *mem.Image) {
+			addrs := img.SortedAddrs()
+			if len(addrs) == 0 {
+				return
+			}
+			for i := uint64(0); i < mutCount%16; i++ {
+				a := addrs[int(mutAddr+i*1021)%len(addrs)]
+				if i%2 == 0 {
+					img.FlipBit(a, uint(mutBit)+uint(i))
+				} else {
+					img.Delete(a)
+				}
+			}
+		}
+		if _, _, d := RunFaultPoint(p, c, mutate); d != nil {
 			t.Fatal(d.Error())
 		}
 	})

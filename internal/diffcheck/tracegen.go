@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -39,6 +40,10 @@ type Params struct {
 	OMCs      int
 
 	CrashPoints int // swept mid-run crash probes
+
+	// Fault selects a deterministic NVM fault-injection class for the
+	// fault-sweep runner ("", "torn", "flip", "loss", "nak", "all").
+	Fault string
 }
 
 // Step is one generated access: which thread issues it and what it does.
@@ -74,6 +79,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("diffcheck: OMCs must be positive, got %d", p.OMCs)
 	case p.CrashPoints < 0 || p.CrashPoints >= p.Steps:
 		return fmt.Errorf("diffcheck: CrashPoints %d must be in [0,Steps)", p.CrashPoints)
+	case !fault.ValidClass(p.Fault):
+		return fmt.Errorf("diffcheck: unknown fault class %q", p.Fault)
 	}
 	return nil
 }
@@ -103,6 +110,7 @@ func (p Params) Config() sim.Config {
 		cfg.WrapWidth = p.WrapWidth
 	}
 	cfg.Seed = p.Seed
+	cfg.FaultClass = p.Fault // injector seed derives from Seed
 	return cfg
 }
 
@@ -171,6 +179,9 @@ func (p Params) FlagString() string {
 	}
 	if p.Wrap {
 		fmt.Fprintf(&b, " -wrap -wrapwidth %d", p.WrapWidth)
+	}
+	if p.Fault != "" {
+		fmt.Fprintf(&b, " -fault %s", p.Fault)
 	}
 	return b.String()
 }

@@ -28,6 +28,12 @@ type Scale struct {
 	// bit-identically; there is no ambient math/rand anywhere (nvlint's
 	// wallclock check keeps it that way).
 	Seed int64
+	// FaultClass, when non-empty, arms NVOverlay's deterministic NVM fault
+	// injector for every run at this scale ("torn", "flip", "loss", "nak",
+	// "all"). The injector's PRNG seed derives from Seed (see
+	// sim.Config.EffectiveFaultSeed), so a faulted run replays its fault
+	// schedule byte-for-byte from (-seed, -faults) alone.
+	FaultClass string
 	// Machine, when non-nil, shrinks the cache hierarchy so the paper's
 	// capacity relationships hold at reduced run length: the per-epoch
 	// write set must exceed an L2 but fit the LLC, exactly as 1M-store
@@ -104,6 +110,7 @@ func Run(schemeName, wlName string, scale Scale, cfgMod func(*sim.Config)) (RunR
 	if scale.Seed != 0 {
 		cfg.Seed = scale.Seed
 	}
+	cfg.FaultClass = scale.FaultClass
 	if scale.Machine != nil {
 		scale.Machine(&cfg)
 	}

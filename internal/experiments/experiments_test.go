@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,57 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	}
 	if _, err := Run("PiCL", "art", Smoke, func(c *sim.Config) { c.Cores = 0 }); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestFaultedRunReplaysByteIdentical is the replay contract behind
+// `nvbench -seed N -faults C`: the entire faulted run — fault schedule,
+// injector event counts, and every stats counter — is a pure function of
+// (Seed, FaultClass) and reproduces byte-for-byte.
+func TestFaultedRunReplaysByteIdentical(t *testing.T) {
+	sc := Smoke
+	sc.Seed = 9
+	sc.FaultClass = "all"
+	run := func() (string, string) {
+		res, err := Run("NVOverlay", "btree", sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, ok := res.Scheme.(*core.NVOverlay)
+		if !ok {
+			t.Fatalf("scheme is %T, want *core.NVOverlay", res.Scheme)
+		}
+		inj := nv.Injector()
+		if inj == nil {
+			t.Fatal("FaultClass did not arm the injector")
+		}
+		if inj.Total() == 0 {
+			t.Fatal("no faults fired during the run")
+		}
+		return inj.Schedule(), res.Scheme.Stats().Dump("")
+	}
+	sched1, stats1 := run()
+	sched2, stats2 := run()
+	if sched1 != sched2 {
+		t.Fatalf("fault schedule not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sched1, sched2)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("stats not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", stats1, stats2)
+	}
+	// A different fault class under the same seed must change the schedule
+	// (the schedule is a function of the class config, not just the seed).
+	sc.FaultClass = "nak"
+	res, err := Run("NVOverlay", "btree", sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Scheme.(*core.NVOverlay).Injector().Schedule(); s == sched1 {
+		t.Fatal("different fault class reproduced the same schedule")
+	}
+	// An invalid class is rejected by config validation, not silently off.
+	sc.FaultClass = "melt"
+	if _, err := Run("NVOverlay", "btree", sc, nil); err == nil {
+		t.Fatal("unknown fault class accepted")
 	}
 }
 

@@ -7,6 +7,7 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -63,6 +64,27 @@ type NVM struct {
 	series   *stats.TimeSeries
 	progress func() float64 // supplied by the driver; nil means no series
 	stat     *stats.Set
+
+	// Content plane (durability model). The timing model above books bank
+	// occupancy; the content plane additionally tracks what the array
+	// would actually hold after a power cut. store is the persisted word
+	// array; pending holds per-bank FIFO queues of writes whose device
+	// completion watermark has not passed yet — those are the writes a
+	// power cut can tear or lose. bankDone is the per-bank completion
+	// clock: unlike bankBusy (cumulative work, which grants idle credit
+	// for the *stall* model), a write issued at cycle t can never be
+	// durable before t+latency.
+	store    map[uint64]uint64
+	pending  [][]pendingWrite
+	bankDone []uint64
+	inj      *fault.Injector
+}
+
+// pendingWrite is one word burst sitting in a bank's volatile queue.
+type pendingWrite struct {
+	addr  uint64   // first word address (8-byte aligned)
+	words []uint64 // payload, 8 bytes per element
+	done  uint64   // device completion cycle; durable once done <= now
 }
 
 // NewNVM constructs the device from the machine config.
@@ -74,6 +96,9 @@ func NewNVM(cfg *sim.Config) *NVM {
 		wear:     make(map[uint64]int64),
 		series:   stats.NewTimeSeries(cfg.TimeSeriesBuckets),
 		stat:     stats.NewSet("nvm"),
+		store:    make(map[uint64]uint64),
+		pending:  make([][]pendingWrite, cfg.NVMBanks),
+		bankDone: make([]uint64, cfg.NVMBanks),
 	}
 }
 

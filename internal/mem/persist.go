@@ -1,0 +1,156 @@
+package mem
+
+import "repro/internal/fault"
+
+// AttachFaults installs a fault injector on the device. A nil injector (or
+// one built from the zero Config) leaves the device perfect; the content
+// plane still tracks durability so PowerCut yields the honest image.
+func (n *NVM) AttachFaults(inj *fault.Injector) { n.inj = inj }
+
+// Injector returns the attached fault injector (nil when faults are off).
+func (n *NVM) Injector() *fault.Injector { return n.inj }
+
+// wordAlign truncates addr to 8-byte word granularity. The content plane
+// models the device's atomic-persist unit, which is an 8-byte word.
+func wordAlign(addr uint64) uint64 { return addr &^ 7 }
+
+// Persist books a write exactly like Write — identical timing, accounting
+// and stall behaviour — and additionally enqueues the given content words
+// on addr's bank so they become durable once the bank's completion clock
+// passes. It also exercises the transient-NAK path: a NAKed attempt is
+// retried with bounded exponential backoff, and the write is dropped (never
+// reaching the array) when the retry budget is exhausted. The returned
+// stall includes both backlog stalls and NAK backoff.
+func (n *NVM) Persist(class WriteClass, addr uint64, size int, words []uint64, now uint64) (stall uint64) {
+	if n.inj.Enabled() {
+		attempt := 0
+		for n.inj.NAK(addr, attempt) {
+			attempt++
+			backoff := n.cfg.NVMWriteLat << uint(attempt)
+			stall += backoff
+			n.stat.Add("nak_backoff_cycles", int64(backoff))
+			if attempt >= fault.MaxNAKRetries {
+				n.inj.NoteNAKDrop(addr)
+				n.stat.Inc("nak_dropped_writes")
+				return stall
+			}
+		}
+	}
+	stall += n.Write(class, addr, size, now+stall)
+	n.enqueue(addr, words, now+stall, true)
+	return stall
+}
+
+// PersistSilent records content words as written without booking any device
+// time or byte accounting. It models writes that ride an already-booked
+// transfer (the per-epoch mapping-table slots, whose timing the OMC model
+// charges through its own meta-write path): durability still follows the
+// bank's completion clock, so recent silent writes are just as volatile at
+// a power cut as booked ones. Silent writes bypass the NAK front-end.
+func (n *NVM) PersistSilent(addr uint64, words []uint64, now uint64) {
+	n.enqueue(addr, words, now, false)
+}
+
+// enqueue places a word burst on addr's bank queue. Booked writes complete
+// a full device latency after max(bank completion clock, issue time);
+// silent writes piggyback at the watermark itself.
+func (n *NVM) enqueue(addr uint64, words []uint64, now uint64, booked bool) {
+	if len(words) == 0 {
+		return
+	}
+	addr = wordAlign(addr)
+	b := n.bankOf(addr)
+	done := n.bankDone[b]
+	if done < now {
+		done = now
+	}
+	if booked {
+		done += n.cfg.NVMWriteLat
+		n.bankDone[b] = done
+	}
+	// Drain the FIFO prefix that has already completed so queues stay
+	// short; order per bank (hence per word address) is preserved.
+	q := n.pending[b]
+	i := 0
+	for ; i < len(q) && q[i].done <= now; i++ {
+		n.commit(q[i])
+	}
+	q = append(q[i:], pendingWrite{addr: addr, words: words, done: done})
+	n.pending[b] = q
+}
+
+// commit applies a completed write to the persisted word array.
+func (n *NVM) commit(w pendingWrite) {
+	for i, v := range w.words {
+		n.store[w.addr+uint64(i*8)] = v
+	}
+}
+
+// PowerCut simulates losing power at cycle now and returns the resulting
+// durable image. Queued writes whose completion watermark has passed are
+// durable; the rest sit in the volatile bank queues, where the attached
+// injector decides their fate: a bank can lose its whole queue, the
+// in-flight tail write can tear (only an 8-byte-word prefix persists), and
+// finally bit flips corrupt the surviving array. Without an injector the
+// cut is clean ADR: completed writes persist, in-flight ones vanish whole.
+//
+// The cut consumes the queues; the device can keep running afterwards (the
+// harness only reads the image), but content from before the cut is final.
+func (n *NVM) PowerCut(now uint64) *Image {
+	for b := range n.pending {
+		q := n.pending[b]
+		n.pending[b] = nil
+		// Durable prefix: completed before the cut.
+		i := 0
+		for ; i < len(q) && q[i].done <= now; i++ {
+			n.commit(q[i])
+		}
+		volatileQ := q[i:]
+		if len(volatileQ) == 0 {
+			continue
+		}
+		if n.inj.Enabled() && n.inj.BankLost(b, len(volatileQ)) {
+			n.stat.Add("cut_lost_writes", int64(len(volatileQ)))
+			continue
+		}
+		// ADR drains the volatile queue in order; the injector may tear
+		// the last write in flight.
+		for j, w := range volatileQ {
+			if j == len(volatileQ)-1 && n.inj.Enabled() {
+				if keep, torn := n.inj.Tear(b, w.addr, len(w.words)); torn {
+					n.stat.Inc("cut_torn_writes")
+					w.words = w.words[:keep]
+				}
+			}
+			n.commit(w)
+		}
+	}
+	if n.inj.Enabled() {
+		for f := 0; f < n.inj.FlipCount() && len(n.store) > 0; f++ {
+			keys := sortedWordAddrs(n.store)
+			idx, bit := n.inj.Flip(len(keys))
+			n.store[keys[idx]] ^= 1 << bit
+			n.inj.NoteFlip(keys[idx], bit)
+			n.stat.Inc("cut_bit_flips")
+		}
+	}
+	return snapshotImage(n.store)
+}
+
+// Image returns the durable content as if every queued write completed
+// cleanly — the fault-free final image. It does not consume the queues.
+func (n *NVM) Image() *Image {
+	words := make(map[uint64]uint64, len(n.store))
+	//nvlint:allow maprange copying into the Image snapshot map
+	for a, v := range n.store {
+		words[a] = v
+	}
+	for b := range n.pending {
+		for _, w := range n.pending[b] {
+			for i, v := range w.words {
+				words[w.addr+uint64(i*8)] = v
+			}
+		}
+	}
+	return &Image{words: words}
+}

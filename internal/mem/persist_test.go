@@ -1,0 +1,147 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func contentNVM(t *testing.T) (*NVM, *sim.Config) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.NVMBanks = 4
+	return NewNVM(&cfg), &cfg
+}
+
+// TestPersistTimingMatchesWrite: with faults off, Persist must book exactly
+// what Write books — the content plane is timing-invisible.
+func TestPersistTimingMatchesWrite(t *testing.T) {
+	a, cfg := contentNVM(t)
+	b, _ := contentNVM(t)
+	_ = cfg
+	for i := uint64(0); i < 200; i++ {
+		addr := i * 64 * 3
+		now := i * 50
+		sa := a.Write(WData, addr, 24, now)
+		sb := b.Persist(WData, addr, 24, []uint64{i, i + 1, i + 2}, now)
+		if sa != sb {
+			t.Fatalf("write %d: stall %d (Write) vs %d (Persist)", i, sa, sb)
+		}
+	}
+	if a.Stats().Get("nvm_writes") != b.Stats().Get("nvm_writes") {
+		t.Fatal("accounting diverged between Write and Persist")
+	}
+}
+
+// TestPersistDurabilityWatermark: a word persisted at time t sits in the
+// volatile bank queue — exposed to bank loss — until a full device latency
+// has passed, after which no fault class can take it.
+func TestPersistDurabilityWatermark(t *testing.T) {
+	n, _ := contentNVM(t)
+	n.AttachFaults(fault.New(fault.Config{Seed: 1, LossPer100: 100}))
+	n.Persist(WData, 0x1000, 8, []uint64{7}, 100)
+	if img := n.PowerCut(100); img.Len() != 0 {
+		t.Fatalf("in-flight write survived a lost bank: %d words", img.Len())
+	}
+	n2, cfg := contentNVM(t)
+	n2.AttachFaults(fault.New(fault.Config{Seed: 1, LossPer100: 100}))
+	n2.Persist(WData, 0x1000, 8, []uint64{7}, 100)
+	img := n2.PowerCut(100 + cfg.NVMWriteLat)
+	if v, ok := img.Word(0x1000); !ok || v != 7 {
+		t.Fatalf("completed write not durable after full latency: %v %v", v, ok)
+	}
+}
+
+// TestPersistSilentPiggybacks: silent writes become durable at the bank
+// watermark without moving it.
+func TestPersistSilentPiggybacks(t *testing.T) {
+	n, cfg := contentNVM(t)
+	n.Persist(WMeta, 0x2000, 8, []uint64{1}, 0)
+	n.PersistSilent(0x2008, []uint64{2}, 0)
+	img := n.PowerCut(cfg.NVMWriteLat)
+	if _, ok := img.Word(0x2008); !ok {
+		t.Fatal("silent write did not ride the booked watermark")
+	}
+}
+
+// TestPowerCutCleanADR: without an injector, in-flight writes drain whole.
+func TestPowerCutCleanADR(t *testing.T) {
+	n, _ := contentNVM(t)
+	for i := uint64(0); i < 50; i++ {
+		n.Persist(WData, 0x4000+i*64, 24, []uint64{i, i, i}, 0)
+	}
+	img := n.PowerCut(0) // nothing completed yet: ADR drains everything
+	if img.Len() != 150 {
+		t.Fatalf("clean cut lost words: %d/150", img.Len())
+	}
+}
+
+// TestPowerCutTearsPrefix: a torn write keeps an 8-byte-word prefix; later
+// words of the burst never reach the array.
+func TestPowerCutTearsPrefix(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 3, TornPer100: 100})
+	n, _ := contentNVM(t)
+	n.AttachFaults(inj)
+	n.Persist(WData, 0x5000, 24, []uint64{10, 11, 12}, 0)
+	img := n.PowerCut(0)
+	if inj.Count(fault.Torn) != 1 {
+		t.Fatalf("tear did not fire: %d", inj.Count(fault.Torn))
+	}
+	keep := inj.Events()[0].Arg
+	for i := uint64(0); i < 3; i++ {
+		_, ok := img.Word(0x5000 + i*8)
+		if want := i < keep; ok != want {
+			t.Fatalf("word %d present=%v, torn prefix keep=%d", i, ok, keep)
+		}
+	}
+}
+
+// TestPowerCutBankLoss: a lost bank drops its whole volatile queue while
+// other banks drain normally.
+func TestPowerCutBankLoss(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 1, LossPer100: 100})
+	n, _ := contentNVM(t)
+	n.AttachFaults(inj)
+	for i := uint64(0); i < 40; i++ {
+		n.Persist(WData, 0x8000+i*64, 8, []uint64{i + 1}, 0)
+	}
+	img := n.PowerCut(0)
+	if img.Len() != 0 {
+		t.Fatalf("LossPer100=100 must drop every bank queue, %d words survive", img.Len())
+	}
+	if inj.Count(fault.BankLoss) == 0 {
+		t.Fatal("no bank-loss events recorded")
+	}
+}
+
+// TestNAKDropNeverReachesArray: a write abandoned after the retry budget
+// leaves no content behind.
+func TestNAKDropNeverReachesArray(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 2, NAKPer10k: 10_000}) // always NAK
+	n, _ := contentNVM(t)
+	n.AttachFaults(inj)
+	stall := n.Persist(WData, 0x9000, 8, []uint64{5}, 0)
+	if stall == 0 {
+		t.Fatal("NAK retries must cost backoff cycles")
+	}
+	if inj.Count(fault.NAKDrop) != 1 {
+		t.Fatalf("write was not dropped: %d", inj.Count(fault.NAKDrop))
+	}
+	if img := n.PowerCut(1 << 30); img.Len() != 0 {
+		t.Fatal("dropped write reached the array")
+	}
+}
+
+// TestImageIncludesPending: the fault-free Image() sees queued writes as if
+// they had completed, and does not consume the queues.
+func TestImageIncludesPending(t *testing.T) {
+	n, _ := contentNVM(t)
+	n.Persist(WData, 0xA000, 8, []uint64{9}, 0)
+	if v, ok := n.Image().Word(0xA000); !ok || v != 9 {
+		t.Fatalf("Image missed pending write: %v %v", v, ok)
+	}
+	if v, ok := n.Image().Word(0xA000); !ok || v != 9 {
+		t.Fatalf("second Image read diverged: %v %v", v, ok)
+	}
+}

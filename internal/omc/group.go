@@ -27,7 +27,12 @@ func NewGroup(cfg *sim.Config, nvm *mem.NVM, n int, opts ...Option) *Group {
 	}
 	g := &Group{cfg: cfg, stat: stats.NewSet("omcgroup")}
 	for i := 0; i < n; i++ {
-		g.omcs = append(g.omcs, New(cfg, nvm, i, opts...))
+		o := New(cfg, nvm, i, opts...)
+		// The genesis record lets recovery tell a young run (nothing
+		// committed yet) apart from a destroyed commit log, and tells it
+		// how many partitions to scan.
+		o.writeGenesis(n)
+		g.omcs = append(g.omcs, o)
 	}
 	return g
 }
@@ -99,10 +104,7 @@ func (g *Group) Seal(now uint64) {
 		}
 	}
 	for _, o := range g.omcs {
-		o.Seal(now)
-		if max > o.recEpoch {
-			o.recEpoch = max
-		}
+		o.SealTo(now, max)
 	}
 }
 

@@ -33,6 +33,11 @@ type OMC struct {
 	recEpoch uint64
 	maxEpoch uint64
 
+	// Durable-record log cursors: commit slot 0 is the genesis record, so
+	// commit records start at sequence 1; seal records start at 0.
+	commitSeq int
+	sealSeq   int
+
 	// subpage accounting: versions per (epoch, 4KB page) for the sparse
 	// sub-page statistic (§V-C / Page Overlays §4.4).
 	vpageCounts map[uint64]map[uint64]int
@@ -75,17 +80,14 @@ func New(cfg *sim.Config, nvm *mem.NVM, id int, opts ...Option) *OMC {
 		stat:        stats.NewSet("omc"),
 	}
 	o.metaNext = MetaBase + uint64(id)*omcRegion
+	o.commitSeq = 1 // slot 0 is the genesis record
 	o.master = NewMasterTable(
-		func(size int) uint64 {
-			addr := o.metaNext
-			o.metaNext += uint64(size)
-			return addr
-		},
-		func(nvmAddr uint64, size int) {
+		o.allocMeta,
+		func(nvmAddr uint64, size int, word uint64) {
 			// Master Table mutations are persistent 8-byte writes; merge
 			// bursts advance the controller's local time so a full queue
 			// delays the merge rather than compounding stalls.
-			o.now += o.nvm.Write(mem.WMeta, nvmAddr, size, o.now)
+			o.now += o.nvm.Persist(mem.WMeta, nvmAddr, size, []uint64{word}, o.now)
 			o.stat.Inc("meta_writes")
 		},
 	)
@@ -93,6 +95,29 @@ func New(cfg *sim.Config, nvm *mem.NVM, id int, opts ...Option) *OMC {
 		opt(o)
 	}
 	return o
+}
+
+// allocMeta hands out NVM homes for mapping-table nodes (master and
+// per-epoch alike) from this OMC's metadata region.
+func (o *OMC) allocMeta(size int) uint64 {
+	addr := o.metaNext
+	o.metaNext += uint64(size)
+	return addr
+}
+
+// newEpochTable builds a per-epoch mapping table whose slot writes are
+// recorded on the device's content plane without booking extra bank time:
+// the M_e tables live in NVM (paper §V-A) but their write timing is
+// already charged through the OMC's data/meta paths, so the content rides
+// silently — durable once the bank's completion clock passes, torn or
+// lost at a power cut just like booked traffic.
+func (o *OMC) newEpochTable() *Table {
+	return NewMasterTable(
+		o.allocMeta,
+		func(nvmAddr uint64, size int, word uint64) {
+			o.nvm.PersistSilent(nvmAddr, []uint64{word}, o.now)
+		},
+	)
 }
 
 // ReceiveVersion accepts a snapshot line from the frontend at cycle now and
@@ -129,11 +154,15 @@ func (o *OMC) writeVersion(v Version, now uint64) (stall uint64) {
 	if newPage {
 		o.stat.Inc("pages_allocated")
 	}
-	stall += o.nvm.Write(mem.WData, nvmAddr, o.cfg.LineSize, now)
+	// The persisted line carries [data, epoch, checksum]: binding address
+	// and epoch into the checksum lets recovery reject stale records at
+	// reused pool addresses instead of trusting them.
+	stall += o.nvm.Persist(mem.WData, nvmAddr, o.cfg.LineSize,
+		[]uint64{v.Data, v.Epoch, LineCheck(v.Addr, v.Epoch, v.Data)}, now)
 	o.payload[nvmAddr] = v.Data
 	t := o.epochs[v.Epoch]
 	if t == nil {
-		t = NewEpochTable()
+		t = o.newEpochTable()
 		o.epochs[v.Epoch] = t
 	}
 	if old, replaced := t.Insert(v.Addr, nvmAddr); replaced {
@@ -216,8 +245,11 @@ func (o *OMC) advanceRecEpoch(now uint64) {
 		o.mergeEpoch(e, now)
 	}
 	o.recEpoch = er
-	// Persist the new rec-epoch pointer atomically (8-byte write).
-	o.nvm.Write(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, now)
+	// Persist the new rec-epoch pointer atomically (8-byte write), then
+	// append the commit record that makes the advance provable: it pins
+	// the epoch plus the Master Table's entry count and digest.
+	o.nvm.Persist(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, []uint64{er}, now)
+	o.writeCommitRecord(now)
 	o.stat.Inc("recepoch_advances")
 }
 
@@ -240,6 +272,9 @@ func (o *OMC) mergeEpoch(e uint64, now uint64) {
 			o.stat.Inc("versions_unmapped")
 		}
 	})
+	// Seal the merged table: its record is what lets recovery walk back
+	// to this epoch when newer state turns out torn.
+	o.writeSealRecord(e, t, now)
 	o.pool.CloseEpoch(e)
 	o.stat.Inc("epochs_merged")
 	o.stat.Add("entries_merged", int64(t.Entries()))
@@ -280,8 +315,10 @@ func (o *OMC) Compact(now uint64) (stall uint64) {
 	})
 	for _, m := range moves {
 		newAddr, _ := o.pool.Alloc(o.maxEpoch)
-		stall += o.nvm.Write(mem.WData, newAddr, o.cfg.LineSize, now+stall)
-		o.payload[newAddr] = o.payload[m.nvmAddr]
+		data := o.payload[m.nvmAddr]
+		stall += o.nvm.Persist(mem.WData, newAddr, o.cfg.LineSize,
+			[]uint64{data, o.maxEpoch, LineCheck(m.lineAddr, o.maxEpoch, data)}, now+stall)
+		o.payload[newAddr] = data
 		o.master.Insert(m.lineAddr, newAddr)
 		delete(o.payload, m.nvmAddr)
 		o.pool.Release(m.nvmAddr)
@@ -290,6 +327,11 @@ func (o *OMC) Compact(now uint64) (stall uint64) {
 	// Pages of the victim epoch holding no live data are reclaimed even if
 	// the epoch's cursor was still open.
 	o.pool.CloseEpoch(oldest)
+	if len(moves) > 0 {
+		// Compaction rewrote master mappings; the standing commit record's
+		// digest no longer matches, so append a fresh one.
+		o.writeCommitRecord(now)
+	}
 	o.stat.Inc("compactions")
 	return stall
 }
@@ -305,7 +347,14 @@ func (o *OMC) DumpContext(vd int, epoch, now uint64) (stall uint64) {
 
 // Seal finalises the OMC at end of run: buffered versions are flushed and
 // every remaining epoch table is merged, making the final epoch recoverable.
-func (o *OMC) Seal(now uint64) {
+func (o *OMC) Seal(now uint64) { o.SealTo(now, 0) }
+
+// SealTo seals the OMC and raises the recoverable epoch to at least floor
+// (the group-wide maximum epoch). Taking the floor before the commit
+// record is written — rather than patching recEpoch afterwards, as
+// Group.Seal used to — means the durable record reflects the epoch the
+// group actually recovers to.
+func (o *OMC) SealTo(now, floor uint64) {
 	o.now = now
 	if o.buf != nil {
 		for _, fv := range o.buf.Flush() {
@@ -323,7 +372,11 @@ func (o *OMC) Seal(now uint64) {
 	if o.maxEpoch > o.recEpoch {
 		o.recEpoch = o.maxEpoch
 	}
-	o.nvm.Write(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, now)
+	if floor > o.recEpoch {
+		o.recEpoch = floor
+	}
+	o.nvm.Persist(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, []uint64{o.recEpoch}, now)
+	o.writeCommitRecord(now)
 }
 
 // RecEpoch returns the recoverable epoch from this OMC's perspective.

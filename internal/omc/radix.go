@@ -40,9 +40,16 @@ type Table struct {
 	inners  int
 	leaves  int
 
+	// digest is the running XOR of PairMix(lineAddr, nvmAddr) over the
+	// live mappings: an order-independent fingerprint of the table's
+	// contents. Seal and commit records carry it so recovery can prove a
+	// re-walked on-NVM table is exactly the table that was sealed.
+	digest uint64
+
 	// persist, when non-nil, is invoked for every 8-byte slot written on
-	// NVM: new-node parent pointers and leaf value slots.
-	persist func(nvmAddr uint64, size int)
+	// NVM — new-node parent pointers and leaf value slots — with the slot
+	// content so the device's content plane can track durability.
+	persist func(nvmAddr uint64, size int, word uint64)
 	// metaAlloc hands out NVM addresses for newly allocated nodes.
 	metaAlloc func(size int) uint64
 }
@@ -54,7 +61,7 @@ func NewEpochTable() *Table {
 
 // NewMasterTable returns a persistent table whose metadata writes are
 // reported through persist; node homes are assigned by metaAlloc.
-func NewMasterTable(metaAlloc func(size int) uint64, persist func(nvmAddr uint64, size int)) *Table {
+func NewMasterTable(metaAlloc func(size int) uint64, persist func(nvmAddr uint64, size int, word uint64)) *Table {
 	return &Table{persist: persist, metaAlloc: metaAlloc}
 }
 
@@ -76,9 +83,9 @@ func (t *Table) allocMeta(size int) uint64 {
 	return t.metaAlloc(size)
 }
 
-func (t *Table) persistWrite(addr uint64, size int) {
+func (t *Table) persistWrite(addr uint64, size int, word uint64) {
 	if t.persist != nil {
-		t.persist(addr, size)
+		t.persist(addr, size, word)
 	}
 }
 
@@ -98,18 +105,21 @@ func (t *Table) Insert(lineAddr, nvmAddr uint64) (old uint64, replaced bool) {
 		child := n.children[idx]
 		if child == nil {
 			var created interface{}
+			var childAddr uint64
 			if level == 4 {
 				lf := &leaf{nvmAddr: t.allocMeta(leafNodeBytes)}
 				t.leaves++
 				created = lf
+				childAddr = lf.nvmAddr
 			} else {
 				in := &inner{nvmAddr: t.allocMeta(innerNodeBytes)}
 				t.inners++
 				created = in
+				childAddr = in.nvmAddr
 			}
 			n.children[idx] = created
 			// Writing the parent pointer is one 8-byte persistent write.
-			t.persistWrite(n.nvmAddr+uint64(idx*8), 8)
+			t.persistWrite(n.nvmAddr+uint64(idx*8), 8, childAddr)
 			child = created
 		}
 		if level == 4 {
@@ -118,12 +128,14 @@ func (t *Table) Insert(lineAddr, nvmAddr uint64) (old uint64, replaced bool) {
 			bit := uint64(1) << slot
 			if lf.present&bit != 0 {
 				old, replaced = lf.vals[slot], true
+				t.digest ^= PairMix(lineAddr, old)
 			} else {
 				t.entries++
 			}
 			lf.present |= bit
 			lf.vals[slot] = nvmAddr
-			t.persistWrite(lf.nvmAddr+uint64(slot*8), 8)
+			t.digest ^= PairMix(lineAddr, nvmAddr)
+			t.persistWrite(lf.nvmAddr+uint64(slot*8), 8, nvmAddr)
 			return old, replaced
 		}
 		n = child.(*inner)
@@ -178,7 +190,8 @@ func (t *Table) Delete(lineAddr uint64) (uint64, bool) {
 			lf.present &^= bit
 			lf.vals[slot] = 0
 			t.entries--
-			t.persistWrite(lf.nvmAddr+uint64(slot*8), 8)
+			t.digest ^= PairMix(lineAddr, old)
+			t.persistWrite(lf.nvmAddr+uint64(slot*8), 8, 0)
 			return old, true
 		}
 		n = child.(*inner)
@@ -188,6 +201,19 @@ func (t *Table) Delete(lineAddr uint64) (uint64, bool) {
 
 // Entries returns the number of live mappings.
 func (t *Table) Entries() int { return t.entries }
+
+// Digest returns the order-independent content fingerprint of the table:
+// the XOR over live mappings of PairMix(lineAddr, nvmAddr).
+func (t *Table) Digest() uint64 { return t.digest }
+
+// RootAddr returns the NVM home of the root node (0 before any insert, or
+// for volatile per-epoch tables with no metadata allocator).
+func (t *Table) RootAddr() uint64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.nvmAddr
+}
 
 // Bytes returns the storage footprint of the table's nodes. For per-epoch
 // tables this is DRAM; for the Master Table it is persistent NVM metadata

@@ -137,7 +137,7 @@ func TestMasterTablePersistAccounting(t *testing.T) {
 	var allocs int
 	tb := NewMasterTable(
 		func(size int) uint64 { allocs++; return uint64(allocs) << 20 },
-		func(nvmAddr uint64, size int) {
+		func(nvmAddr uint64, size int, word uint64) {
 			if size != 8 {
 				t.Fatalf("persist size = %d, want 8", size)
 			}

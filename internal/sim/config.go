@@ -56,6 +56,13 @@ type Config struct {
 	WrapWidth    uint  // epoch wire width in bits when WrapEpochs is set
 	Seed         int64 // PRNG seed for workloads
 
+	// Fault injection (robustness harness). FaultClass selects a named
+	// deterministic NVM fault regime ("", "torn", "flip", "loss", "nak",
+	// "all"); FaultSeed seeds the injector's PRNG (0: derived from Seed so
+	// faulted runs replay from the workload seed alone).
+	FaultClass string
+	FaultSeed  int64
+
 	// TimeSeriesBuckets controls Fig-17-style bandwidth bucketing.
 	TimeSeriesBuckets int
 }
@@ -164,8 +171,30 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: NVMBanks must be positive, got %d", c.NVMBanks)
 	case c.WrapEpochs && (c.WrapWidth < 4 || c.WrapWidth > 16):
 		return fmt.Errorf("sim: WrapWidth must be in [4,16], got %d", c.WrapWidth)
+	case !validFaultClass(c.FaultClass):
+		return fmt.Errorf("sim: unknown FaultClass %q (\"\", torn, flip, loss, nak, all)", c.FaultClass)
 	}
 	return nil
+}
+
+// validFaultClass mirrors fault.ValidClass without importing it (sim is the
+// bottom of the dependency tower).
+func validFaultClass(name string) bool {
+	switch name {
+	case "", "torn", "flip", "loss", "nak", "all":
+		return true
+	}
+	return false
+}
+
+// EffectiveFaultSeed returns the injector seed: FaultSeed when set,
+// otherwise a fixed mix of the workload seed so a faulted run replays
+// byte-identically from -seed alone.
+func (c *Config) EffectiveFaultSeed() int64 {
+	if c.FaultSeed != 0 {
+		return c.FaultSeed
+	}
+	return c.Seed ^ 0x6661756c74 // "fault"
 }
 
 // LineAddr masks addr down to its cache-line address.
