@@ -7,63 +7,184 @@
 //	nvbench -exp all -scale quick
 //	nvbench -exp fig12 -workloads btree,art,kmeans
 //	nvbench -exp fig17b
+//	nvbench -exp all -j 8 -json results.json
+//	nvbench -exp fig11 -cpuprofile cpu.out -memprofile mem.out
+//
+// Every figure fans its independent simulation cells across -j workers and
+// merges the results in canonical cell order, so the output is
+// byte-identical for every -j value (see internal/parallel).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
+// report is the machine-readable envelope written by -json. Committed
+// baselines (BENCH_baseline.json) are instances of this shape.
+type report struct {
+	Tool         string      `json:"tool"`
+	Scale        string      `json:"scale"`
+	Jobs         int         `json:"jobs"`
+	Seed         int64       `json:"seed"`
+	FaultClass   string      `json:"fault_class,omitempty"`
+	Host         hostInfo    `json:"host"`
+	Experiments  []expRecord `json:"experiments"`
+	TotalSeconds float64     `json:"total_seconds"`
+}
+
+// hostInfo records where the numbers were taken: wall-clock figures only
+// compare meaningfully against the same core count.
+type hostInfo struct {
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// expRecord is one experiment's metrics: its figure output plus the
+// wall-clock cost of regenerating it.
+type expRecord struct {
+	Name           string  `json:"name"`
+	Seconds        float64 `json:"seconds"`
+	Accesses       uint64  `json:"accesses"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	Result         any     `json:"result"`
+}
+
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "nvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, all")
-		scale  = flag.String("scale", "quick", "run scale: smoke, quick, full")
-		wlCSV  = flag.String("workloads", "", "comma-separated workload subset (default: all twelve)")
-		seed   = flag.Int64("seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
-		faults = flag.String("faults", "", "NVM fault-injection class for NVOverlay runs (torn, flip, loss, nak, all); the fault schedule derives from -seed and replays byte-identically")
-		timing = flag.Bool("time", true, "print wall-clock duration per experiment")
+		exp        = flag.String("exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, all")
+		scale      = flag.String("scale", "quick", "run scale: smoke, quick, full")
+		wlCSV      = flag.String("workloads", "", "comma-separated workload subset (default: all twelve)")
+		seed       = flag.Int64("seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
+		faults     = flag.String("faults", "", "NVM fault-injection class for NVOverlay runs (torn, flip, loss, nak, all); the fault schedule derives from -seed and replays byte-identically")
+		timing     = flag.Bool("time", true, "print wall-clock duration per experiment")
+		jobs       = flag.Int("j", 0, "sweep workers; output is byte-identical for every value (0: GOMAXPROCS, 1: serial)")
+		jsonOut    = flag.String("json", "", "write machine-readable results (figures + wall-clock + accesses/sec) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
 	sc, err := scaleByName(*scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sc.Seed = *seed
 	sc.FaultClass = *faults
+	sc.Jobs = *jobs
 	var wls []string
 	if *wlCSV != "" {
 		wls = strings.Split(*wlCSV, ",")
 		for _, w := range wls {
 			if _, err := workload.Get(w); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 	}
 
-	run := func(name string, f func() error) {
-		start := time.Now()
-		if err := f(); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
 		}
-		if *timing {
-			fmt.Printf("[%s took %.1fs]\n", name, time.Since(start).Seconds())
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
 		}
-		fmt.Println()
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nvbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nvbench: memprofile:", err)
+			}
+		}()
 	}
 
-	all := *exp == "all"
+	rep := report{
+		Tool:       "nvbench",
+		Scale:      sc.Name,
+		Jobs:       parallel.Jobs(sc.Jobs),
+		Seed:       *seed,
+		FaultClass: *faults,
+		Host: hostInfo{
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+		},
+	}
+	start := time.Now()
 	out := os.Stdout
 
-	if all || *exp == "config" {
-		run("config", func() error {
+	run := func(name string, f func() (any, error)) error {
+		t0 := time.Now()
+		a0 := experiments.AccessesRun()
+		result, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		secs := time.Since(t0).Seconds()
+		if *timing {
+			fmt.Printf("[%s took %.1fs]\n", name, secs)
+		}
+		fmt.Println()
+		rec := expRecord{Name: name, Seconds: secs,
+			Accesses: experiments.AccessesRun() - a0, Result: result}
+		if secs > 0 {
+			rec.AccessesPerSec = float64(rec.Accesses) / secs
+		}
+		rep.Experiments = append(rep.Experiments, rec)
+		return nil
+	}
+
+	specs := []struct {
+		name string
+		fn   func() (any, error)
+	}{
+		{"config", func() (any, error) {
 			cfg := sim.DefaultConfig()
 			cfg.EpochSize = sc.EpochSize
 			if sc.Seed != 0 {
@@ -76,119 +197,145 @@ func main() {
 			fmt.Printf("  Scale       %s: %d accesses, caches scaled to keep the paper's\n",
 				sc.Name, sc.MaxAccesses)
 			fmt.Println("              epoch-write-set vs L2/LLC capacity relationships")
-			return nil
-		})
-	}
-	if all || *exp == "fig11" {
-		run("fig11", func() error {
+			return nil, nil
+		}},
+		{"fig11", func() (any, error) {
 			m, err := experiments.Fig11(sc, wls)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintMatrix(out, m)
-			return nil
-		})
-	}
-	if all || *exp == "fig12" {
-		run("fig12", func() error {
+			return m, nil
+		}},
+		{"fig12", func() (any, error) {
 			m, err := experiments.Fig12(sc, wls)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintMatrix(out, m)
-			return nil
-		})
-	}
-	if all || *exp == "fig13" {
-		run("fig13", func() error {
+			return m, nil
+		}},
+		{"fig13", func() (any, error) {
 			rows, err := experiments.Fig13(sc, wls)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintFig13(out, rows)
-			return nil
-		})
-	}
-	if all || *exp == "fig14" {
-		run("fig14", func() error {
+			return rows, nil
+		}},
+		{"fig14", func() (any, error) {
 			pts, err := experiments.Fig14(sc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintFig14(out, pts)
-			return nil
-		})
-	}
-	if all || *exp == "fig15" {
-		run("fig15", func() error {
+			return pts, nil
+		}},
+		{"fig15", func() (any, error) {
 			rows, err := experiments.Fig15(sc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintFig15(out, rows)
-			return nil
-		})
-	}
-	if all || *exp == "fig16" {
-		run("fig16", func() error {
+			return rows, nil
+		}},
+		{"fig16", func() (any, error) {
 			r, err := experiments.Fig16(sc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintFig16(out, r)
-			return nil
-		})
-	}
-	if all || *exp == "fig17" {
-		run("fig17", func() error {
+			return r, nil
+		}},
+		{"fig17", func() (any, error) {
 			series, err := experiments.Fig17(sc, false)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintFig17(out, series)
-			return nil
-		})
-	}
-	if all || *exp == "fig17b" {
-		run("fig17b", func() error {
+			return fig17JSON(series), nil
+		}},
+		{"fig17b", func() (any, error) {
 			series, err := experiments.Fig17(sc, true)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintFig17(out, series)
-			return nil
-		})
-	}
-	if all || *exp == "ablate-superblock" {
-		run("ablate-superblock", func() error {
+			return fig17JSON(series), nil
+		}},
+		{"ablate-superblock", func() (any, error) {
 			r, err := experiments.AblateSuperBlock(sc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintSuperBlock(out, r)
-			return nil
-		})
-	}
-	if all || *exp == "ablate-scaling" {
-		run("ablate-scaling", func() error {
+			return r, nil
+		}},
+		{"ablate-scaling", func() (any, error) {
 			pts, err := experiments.AblateScaling(sc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintScaling(out, pts)
-			return nil
-		})
-	}
-	if all || *exp == "ablate-walker" {
-		run("ablate-walker", func() error {
+			return pts, nil
+		}},
+		{"ablate-walker", func() (any, error) {
 			r, err := experiments.AblateWalker(sc)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			experiments.PrintWalker(out, r)
-			return nil
-		})
+			return r, nil
+		}},
 	}
+
+	all := *exp == "all"
+	matched := false
+	for _, spec := range specs {
+		if !all && *exp != spec.name {
+			continue
+		}
+		matched = true
+		if err := run(spec.name, spec.fn); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	if *jsonOut != "" {
+		rep.TotalSeconds = time.Since(start).Seconds()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// fig17Curve is the JSON shape of one Fig 17 bandwidth series (the
+// TimeSeries type itself keeps its buckets unexported).
+type fig17Curve struct {
+	Scheme       string    `json:"scheme"`
+	Bursty       bool      `json:"bursty"`
+	BandwidthGBs []float64 `json:"bandwidth_gbs"`
+}
+
+func fig17JSON(series []experiments.Fig17Series) []fig17Curve {
+	out := make([]fig17Curve, 0, len(series))
+	for _, s := range series {
+		c := fig17Curve{Scheme: s.Scheme, Bursty: s.Bursty}
+		for i := 0; i < s.Series.Len(); i++ {
+			c.BandwidthGBs = append(c.BandwidthGBs, s.Series.BandwidthGBs(i, s.Hz))
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 func scaleByName(name string) (experiments.Scale, error) {
@@ -202,9 +349,4 @@ func scaleByName(name string) (experiments.Scale, error) {
 	default:
 		return experiments.Scale{}, fmt.Errorf("unknown scale %q (smoke, quick, full)", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvbench:", err)
-	os.Exit(1)
 }

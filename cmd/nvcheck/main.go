@@ -18,12 +18,16 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/diffcheck"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 )
 
 // options is the parsed command line.
@@ -31,11 +35,16 @@ type options struct {
 	traces  int
 	seed    int64
 	every   int
+	jobs    int              // sweep workers; output is identical for every value
 	faults  bool             // fault-soak mode: sweep the fault grid
 	classes string           // comma-separated fault classes for the soak
 	fseeds  int              // seeds per fault class in the soak
 	single  bool             // an explicit per-trace flag switches to single-trace mode
 	p       diffcheck.Params // single-trace parameters
+
+	cpuProfile string // write a CPU profile here
+	memProfile string // write a heap profile here at exit
+	traceOut   string // write a runtime execution trace here
 }
 
 // traceFlags are the per-trace parameter flags; setting any of them runs
@@ -56,9 +65,13 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.traces, "traces", 600, "traces to sweep across the regime rotation")
 	fs.Int64Var(&o.seed, "seed", 1, "base seed (sweep) or trace seed (single mode)")
 	fs.IntVar(&o.every, "every", 100, "print progress every N traces")
+	fs.IntVar(&o.jobs, "j", 0, "sweep workers; verdicts and output are identical for every value (0: GOMAXPROCS, 1: serial)")
 	fs.BoolVar(&o.faults, "faults", false, "fault soak: sweep fault classes x seeds x crash points")
 	fs.StringVar(&o.classes, "fclasses", "torn,flip,loss,nak,all", "fault classes for the -faults soak")
 	fs.IntVar(&o.fseeds, "fseeds", 4, "seeds per fault class in the -faults soak")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file (taken at exit)")
+	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
 
 	base := diffcheck.RegimeParams(0, 0)
 	fs.IntVar(&o.p.Cores, "cores", base.Cores, "cores (single-trace mode)")
@@ -133,31 +146,47 @@ func (ft *faultTally) flush(w io.Writer, elapsed time.Duration) {
 }
 
 // runFaults executes the fault-soak grid: every configured class x fseeds
-// seeds, each swept across its crash points by RunFaulted. The tally is
-// flushed even when a regime diverges or the context is cancelled, and
-// both of those paths return a non-nil error so main exits non-zero.
+// seeds, each swept across its crash points. The (class, seed) regimes fan
+// over -j workers; verdicts and tallies merge in grid order, so the report
+// — including which regime is blamed for a divergence — is identical for
+// every -j. The tally is flushed even when a regime diverges or the
+// context is cancelled, and both of those paths return a non-nil error so
+// main exits non-zero.
 func runFaults(ctx context.Context, o options, w io.Writer) error {
 	start := time.Now()
 	var ft faultTally
-	for _, class := range strings.Split(o.classes, ",") {
-		for s := 0; s < o.fseeds; s++ {
-			if err := ctx.Err(); err != nil {
-				ft.flush(w, time.Since(start))
-				return fmt.Errorf("interrupted after %d regimes", ft.regimes)
-			}
-			p := diffcheck.FaultRegimeParams(class, o.seed+int64(s))
-			res, d := diffcheck.RunFaulted(p)
-			if d != nil {
-				fmt.Fprintln(w, d.Error())
-				ft.flush(w, time.Since(start))
-				return fmt.Errorf("fault regime class=%s seed=%d diverged", class, p.Seed)
-			}
-			ft.add(res)
+	classes := strings.Split(o.classes, ",")
+	type cell struct {
+		res diffcheck.FaultResult
+		d   *diffcheck.Divergence
+	}
+	var ferr error
+	parallel.ForEachOrdered(o.jobs, len(classes)*o.fseeds, func(i int) cell {
+		p := diffcheck.FaultRegimeParams(classes[i/o.fseeds], o.seed+int64(i%o.fseeds))
+		res, d := diffcheck.RunFaulted(p)
+		return cell{res, d}
+	}, func(i int, c cell) bool {
+		class := classes[i/o.fseeds]
+		if err := ctx.Err(); err != nil {
+			ft.flush(w, time.Since(start))
+			ferr = fmt.Errorf("interrupted after %d regimes", ft.regimes)
+			return false
 		}
-		if o.every > 0 {
+		if c.d != nil {
+			fmt.Fprintln(w, c.d.Error())
+			ft.flush(w, time.Since(start))
+			ferr = fmt.Errorf("fault regime class=%s seed=%d diverged", class, c.res.Params.Seed)
+			return false
+		}
+		ft.add(c.res)
+		if o.every > 0 && i%o.fseeds == o.fseeds-1 {
 			fmt.Fprintf(w, "class %s ok (%d regimes so far, %v)\n",
 				class, ft.regimes, time.Since(start).Round(time.Millisecond))
 		}
+		return true
+	})
+	if ferr != nil {
+		return ferr
 	}
 	ft.flush(w, time.Since(start))
 	return nil
@@ -174,7 +203,7 @@ func run(ctx context.Context, o options, w io.Writer) error {
 	}
 	if o.single {
 		if o.p.Fault != "" {
-			res, d := diffcheck.RunFaulted(o.p)
+			res, d := diffcheck.RunFaultedJobs(o.p, o.jobs)
 			if d != nil {
 				fmt.Fprintln(w, d.Error())
 				return fmt.Errorf("1 divergence")
@@ -195,31 +224,88 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		fmt.Fprintf(w, "0 divergences in 1 trace (%v)\n", time.Since(start).Round(time.Millisecond))
 		return nil
 	}
+	// Regime soak: traces fan over -j workers. Verdicts are consumed in
+	// trace order, so tallies, progress lines and — on failure — which
+	// trace is blamed first all match the serial sweep exactly.
 	var boundary, crash int
-	for i := 0; i < o.traces; i++ {
+	type cell struct {
+		res diffcheck.Result
+		d   *diffcheck.Divergence
+	}
+	var ferr error
+	parallel.ForEachOrdered(o.jobs, o.traces, func(i int) cell {
+		res, d := diffcheck.Run(diffcheck.RegimeParams(i, o.seed))
+		return cell{res, d}
+	}, func(i int, c cell) bool {
 		if err := ctx.Err(); err != nil {
 			fmt.Fprintf(w, "interrupted: %d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
 				i, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
-			return fmt.Errorf("interrupted after %d traces", i)
+			ferr = fmt.Errorf("interrupted after %d traces", i)
+			return false
 		}
-		p := diffcheck.RegimeParams(i, o.seed)
-		res, d := diffcheck.Run(p)
-		if d != nil {
-			fmt.Fprintln(w, d.Error())
+		if c.d != nil {
+			fmt.Fprintln(w, c.d.Error())
 			fmt.Fprintf(w, "interrupted: %d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
 				i, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
-			return fmt.Errorf("divergence at trace %d of %d", i+1, o.traces)
+			ferr = fmt.Errorf("divergence at trace %d of %d", i+1, o.traces)
+			return false
 		}
-		boundary += res.BoundaryVerifies
-		crash += res.CrashVerifies
+		boundary += c.res.BoundaryVerifies
+		crash += c.res.CrashVerifies
 		if o.every > 0 && (i+1)%o.every == 0 {
 			fmt.Fprintf(w, "%d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
 				i+1, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
 		}
+		return true
+	})
+	if ferr != nil {
+		return ferr
 	}
 	fmt.Fprintf(w, "0 divergences in %d traces (%d boundary + %d crash verifies, %v)\n",
 		o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// withProfiles runs f under the requested profilers, making sure they are
+// stopped and written before the exit status is decided.
+func withProfiles(o options, f func() error) error {
+	if o.cpuProfile != "" {
+		pf, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.traceOut != "" {
+		tf, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := rtrace.Start(tf); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			mf, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nvcheck: memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "nvcheck: memprofile:", err)
+			}
+		}()
+	}
+	return f()
 }
 
 func main() {
@@ -230,7 +316,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, o, os.Stdout); err != nil {
+	if err := withProfiles(o, func() error { return run(ctx, o, os.Stdout) }); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

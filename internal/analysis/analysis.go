@@ -237,6 +237,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // simVisible is the set of packages whose behaviour is simulation-visible:
 // anything here feeding stats, traces, or replay must be deterministic.
+// internal/parallel and internal/stats are in scope because the sweep
+// engine's merge paths carry the byte-identical-across-jobs guarantee: a
+// map range or wall-clock read there would leak scheduling order into
+// results that must depend only on cell indices.
 var simVisible = prefixMatcher(
 	"repro/internal/sim",
 	"repro/internal/fault",
@@ -249,6 +253,8 @@ var simVisible = prefixMatcher(
 	"repro/internal/recovery",
 	"repro/internal/baseline",
 	"repro/internal/diffcheck",
+	"repro/internal/parallel",
+	"repro/internal/stats",
 )
 
 // errcheckScope covers the NVM/DRAM device models and the recovery paths,

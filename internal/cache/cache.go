@@ -62,6 +62,7 @@ type Cache struct {
 	stride   int    // set-index divisor for address-interleaved slices
 	lines    []Line // sets*ways, row-major by set
 	tick     uint64
+	scratch  []Line // reused by CollectValid/Flush (hot-path: no per-call alloc)
 
 	// Stats.
 	Hits, Misses, Evictions uint64
@@ -213,15 +214,31 @@ func (c *Cache) ForEach(fn func(*Line)) {
 }
 
 // CollectValid returns copies of all valid lines; useful for walks that will
-// mutate the cache while iterating.
+// mutate the cache while iterating. The returned slice is backed by a
+// per-cache scratch buffer and is only valid until the next CollectValid or
+// Flush call on the same cache; every caller consumes the previous result
+// before asking again, so the eviction/walk paths run allocation-free.
 func (c *Cache) CollectValid() []Line {
-	out := make([]Line, 0, 64)
+	out := c.scratchBuf()
 	for i := range c.lines {
 		if c.lines[i].Valid {
 			out = append(out, c.lines[i])
 		}
 	}
+	c.scratch = out
 	return out
+}
+
+// scratchBuf returns the reusable line buffer, pre-sized on first use.
+func (c *Cache) scratchBuf() []Line {
+	if c.scratch == nil {
+		n := c.sets * c.ways
+		if n > 64 {
+			n = 64
+		}
+		c.scratch = make([]Line, 0, n)
+	}
+	return c.scratch[:0]
 }
 
 // CountValid returns the number of valid lines.
@@ -248,14 +265,17 @@ func (c *Cache) CountDirty() int {
 
 // Flush invalidates every line and returns the dirty ones (by value) so the
 // caller can write them back. Used by epoch wrap-around resets and by
-// end-of-run drains.
+// end-of-run drains. Like CollectValid, the result shares the per-cache
+// scratch buffer and is valid until the next CollectValid/Flush call on
+// this cache.
 func (c *Cache) Flush() []Line {
-	var dirty []Line
+	dirty := c.scratchBuf()
 	for i := range c.lines {
 		if c.lines[i].Valid && c.lines[i].Dirty {
 			dirty = append(dirty, c.lines[i])
 		}
 		c.lines[i] = Line{}
 	}
+	c.scratch = dirty
 	return dirty
 }

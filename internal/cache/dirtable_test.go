@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+)
+
+// refDir mirrors Directory operations on a plain map for cross-checking.
+type refDir map[uint64]DirEntry
+
+func TestDirectoryAgainstMapModel(t *testing.T) {
+	d := NewDirectory()
+	ref := refDir{}
+	// Deterministic pseudo-random op stream over a working set with heavy
+	// collisions (line-aligned addresses, as the hierarchies produce).
+	x := uint64(0x2545F4914F6CDD1D)
+	rnd := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	for step := 0; step < 200000; step++ {
+		addr := (rnd() % 4096) << 6
+		switch rnd() % 5 {
+		case 0, 1: // GetOrCreate + mutate
+			e := d.GetOrCreate(addr)
+			if _, ok := ref[addr]; !ok {
+				ref[addr] = DirEntry{Owner: -1}
+			}
+			re := ref[addr]
+			if e.Sharers != re.Sharers || e.Owner != re.Owner {
+				t.Fatalf("step %d: entry %#x = %+v, want %+v", step, addr, *e, re)
+			}
+			e.Sharers |= 1 << (rnd() % 8)
+			e.Owner = int(rnd()%8) - 1
+			ref[addr] = *e
+		case 2: // Get
+			e := d.Get(addr)
+			re, ok := ref[addr]
+			if (e != nil) != ok {
+				t.Fatalf("step %d: Get(%#x) presence %v, want %v", step, addr, e != nil, ok)
+			}
+			if e != nil && (*e != re) {
+				t.Fatalf("step %d: Get(%#x) = %+v, want %+v", step, addr, *e, re)
+			}
+		case 3: // Delete
+			d.Delete(addr)
+			delete(ref, addr)
+		case 4: // DeleteIfEmpty
+			if e := d.Get(addr); e != nil {
+				if rnd()%2 == 0 {
+					e.Sharers = 0
+					e.Owner = -1
+					ref[addr] = *e
+				}
+			}
+			d.DeleteIfEmpty(addr)
+			if re, ok := ref[addr]; ok && re.Sharers == 0 && re.Owner == -1 {
+				delete(ref, addr)
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("step %d: Len() = %d, want %d", step, d.Len(), len(ref))
+		}
+	}
+	// Full-content comparison via AppendKeys.
+	keys := d.AppendKeys(nil)
+	if len(keys) != len(ref) {
+		t.Fatalf("AppendKeys returned %d keys, want %d", len(keys), len(ref))
+	}
+	for _, k := range keys {
+		re, ok := ref[k]
+		if !ok {
+			t.Fatalf("spurious key %#x", k)
+		}
+		if e := d.Get(k); *e != re {
+			t.Fatalf("key %#x = %+v, want %+v", k, *e, re)
+		}
+	}
+}
+
+func TestDirectoryForEachDeterministicAndDeleteSafe(t *testing.T) {
+	build := func() *Directory {
+		d := NewDirectory()
+		for i := uint64(0); i < 1000; i++ {
+			e := d.GetOrCreate(i << 6)
+			e.Sharers = i
+		}
+		return d
+	}
+	var order1, order2 []uint64
+	build().ForEach(func(addr uint64, e *DirEntry) { order1 = append(order1, addr) })
+	build().ForEach(func(addr uint64, e *DirEntry) { order2 = append(order2, addr) })
+	if len(order1) != 1000 || len(order2) != 1000 {
+		t.Fatalf("ForEach visited %d/%d entries, want 1000", len(order1), len(order2))
+	}
+	for i := range order1 {
+		if order1[i] != order2[i] {
+			t.Fatalf("ForEach order differs at %d: %#x vs %#x", i, order1[i], order2[i])
+		}
+	}
+	// Deleting the visited entry mid-iteration must not skip or repeat.
+	d := build()
+	visited := map[uint64]bool{}
+	d.ForEach(func(addr uint64, e *DirEntry) {
+		if visited[addr] {
+			t.Fatalf("entry %#x visited twice", addr)
+		}
+		visited[addr] = true
+		if addr%(2<<6) == 0 {
+			d.Delete(addr)
+		}
+	})
+	if len(visited) != 1000 {
+		t.Fatalf("visited %d entries, want 1000", len(visited))
+	}
+	if d.Len() != 500 {
+		t.Fatalf("after deleting half: Len() = %d, want 500", d.Len())
+	}
+}
+
+func TestDirectoryPointerStableAcrossForeignDeletes(t *testing.T) {
+	d := NewDirectory()
+	addrs := make([]uint64, 256)
+	for i := range addrs {
+		addrs[i] = uint64(i+1) << 6
+		d.GetOrCreate(addrs[i])
+	}
+	e := d.Get(addrs[17])
+	e.Sharers = 0xAB
+	e.Owner = 3
+	// Tombstone-delete many other addresses; the pointer must stay valid
+	// (no insertions happen, so no rehash can move it).
+	for i, a := range addrs {
+		if i != 17 {
+			d.Delete(a)
+		}
+	}
+	if e.Sharers != 0xAB || e.Owner != 3 {
+		t.Fatalf("entry moved or corrupted by foreign deletes: %+v", *e)
+	}
+	if got := d.Get(addrs[17]); got != e {
+		t.Fatalf("lookup after deletes returned a different slot")
+	}
+}
+
+func TestDirectoryReset(t *testing.T) {
+	d := NewDirectory()
+	for i := uint64(0); i < 100; i++ {
+		d.GetOrCreate(i << 6)
+	}
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	if keys := d.AppendKeys(nil); len(keys) != 0 {
+		t.Fatalf("AppendKeys after Reset = %v", keys)
+	}
+	// Reusable after reset.
+	d.GetOrCreate(64).Sharers = 1
+	keys := d.AppendKeys(nil)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) != 1 || keys[0] != 64 {
+		t.Fatalf("post-Reset insert: keys = %v", keys)
+	}
+}

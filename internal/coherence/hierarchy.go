@@ -71,18 +71,16 @@ type Callbacks struct {
 	OnLLCFill func(ln *cache.Line)
 }
 
-type dirEntry struct {
-	sharers uint64 // bitmask over VDs with a (shared) copy
-	owner   int    // VD holding E/M, or -1
-}
-
-// Hierarchy is the full cache system of the simulated machine.
+// Hierarchy is the full cache system of the simulated machine. The
+// directory is a sharded open-addressing table (cache.Directory) rather
+// than a Go map: the per-access lookups dominate the simulator's hot path,
+// and the table avoids per-entry allocation and hash-seed randomisation.
 type Hierarchy struct {
 	cfg  *sim.Config
 	l1   []*cache.Cache // per core
 	l2   []*cache.Cache // per VD
 	llc  []*cache.Cache // slices
-	dir  map[uint64]*dirEntry
+	dir  *cache.Directory
 	dram *mem.DRAM
 	cb   Callbacks
 	stat *stats.Set
@@ -95,7 +93,7 @@ func New(cfg *sim.Config, dram *mem.DRAM, cb Callbacks) *Hierarchy {
 		l1:   make([]*cache.Cache, cfg.Cores),
 		l2:   make([]*cache.Cache, cfg.VDs()),
 		llc:  make([]*cache.Cache, cfg.LLCSlices),
-		dir:  make(map[uint64]*dirEntry),
+		dir:  cache.NewDirectory(),
 		dram: dram,
 		cb:   cb,
 		stat: stats.NewSet("coherence"),
@@ -133,19 +131,12 @@ func (h *Hierarchy) sliceOf(addr uint64) *cache.Cache {
 	return h.llc[int((addr/uint64(h.cfg.LineSize))%uint64(len(h.llc)))]
 }
 
-func (h *Hierarchy) entry(addr uint64) *dirEntry {
-	e := h.dir[addr]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		h.dir[addr] = e
-	}
-	return e
-}
-
-func (h *Hierarchy) dropEntryIfEmpty(addr uint64) {
-	if e, ok := h.dir[addr]; ok && e.sharers == 0 && e.owner == -1 {
-		delete(h.dir, addr)
-	}
+// entry resolves addr's directory entry, creating it when absent. The
+// returned pointer is valid until the next entry() call (cache.Directory's
+// pointer contract); every protocol operation resolves its entry once and
+// finishes with it before the next access begins.
+func (h *Hierarchy) entry(addr uint64) *cache.DirEntry {
+	return h.dir.GetOrCreate(addr)
 }
 
 func (h *Hierarchy) coresOf(vd int) (lo, hi int) {
@@ -197,10 +188,10 @@ func (h *Hierarchy) Load(tid int, addr uint64) uint64 {
 	lat += h.response(vd, rv)
 	e := h.entry(addr)
 	state := cache.Shared
-	if e.sharers == (uint64(1)<<vd) && e.owner == -1 {
+	if e.Sharers == (uint64(1)<<vd) && e.Owner == -1 {
 		state = cache.Exclusive
-		e.sharers = 0
-		e.owner = vd
+		e.Sharers = 0
+		e.Owner = vd
 	}
 	lat += h.fillL2(vd, addr, state, rv, data)
 	if l2ln := h.l2[vd].Peek(addr); l2ln != nil {
@@ -255,8 +246,8 @@ func (h *Hierarchy) Store(tid int, addr uint64) uint64 {
 		h.l1[c].Invalidate(addr)
 	}
 	e := h.entry(addr)
-	e.sharers = 0
-	e.owner = vd
+	e.Sharers = 0
+	e.Owner = vd
 	lat += h.fillL2(vd, addr, cache.Modified, rv, data)
 	if l2ln := h.l2[vd].Peek(addr); l2ln != nil {
 		rv = l2ln.OID // the OnL2Fill hook may have adjusted the tag
@@ -290,27 +281,27 @@ func (h *Hierarchy) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64,
 	e := h.entry(addr)
 
 	// Resolve remote copies.
-	if e.owner != -1 && e.owner != vd {
+	if e.Owner != -1 && e.Owner != vd {
 		lat += h.cfg.RemoteL2Lat
 		if exclusive {
-			h.invalidateVD(e.owner, addr, ReasonCoherence)
-			e.owner = -1
+			h.invalidateVD(e.Owner, addr, ReasonCoherence)
+			e.Owner = -1
 			h.stat.Inc("remote_invalidations")
 		} else {
-			h.downgradeVD(e.owner, addr)
-			e.sharers |= uint64(1) << e.owner
-			e.owner = -1
+			h.downgradeVD(e.Owner, addr)
+			e.Sharers |= uint64(1) << e.Owner
+			e.Owner = -1
 			h.stat.Inc("remote_downgrades")
 		}
 	}
-	if exclusive && e.sharers != 0 {
+	if exclusive && e.Sharers != 0 {
 		for other := 0; other < h.cfg.VDs(); other++ {
-			if other == vd || e.sharers&(uint64(1)<<other) == 0 {
+			if other == vd || e.Sharers&(uint64(1)<<other) == 0 {
 				continue
 			}
 			lat += h.cfg.RemoteL2Lat
 			h.invalidateVD(other, addr, ReasonCoherence)
-			e.sharers &^= uint64(1) << other
+			e.Sharers &^= uint64(1) << other
 			h.stat.Inc("remote_invalidations")
 		}
 	}
@@ -335,7 +326,7 @@ func (h *Hierarchy) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64,
 		}
 	}
 	if !exclusive {
-		e.sharers |= uint64(1) << vd
+		e.Sharers |= uint64(1) << vd
 	}
 	return rv, data, lat
 }
@@ -359,10 +350,10 @@ func (h *Hierarchy) evictLLCVictim(victim cache.Line) (lat uint64) {
 	// Back-invalidate all
 
 	// VD copies; their dirty data merges into the victim before write-back.
-	if e, ok := h.dir[victim.Tag]; ok {
-		vds := e.sharers
-		if e.owner != -1 {
-			vds |= uint64(1) << e.owner
+	if e := h.dir.Get(victim.Tag); e != nil {
+		vds := e.Sharers
+		if e.Owner != -1 {
+			vds |= uint64(1) << e.Owner
 		}
 		for vd := 0; vd < h.cfg.VDs(); vd++ {
 			if vds&(uint64(1)<<vd) == 0 {
@@ -375,7 +366,7 @@ func (h *Hierarchy) evictLLCVictim(victim cache.Line) (lat uint64) {
 			}
 			h.stat.Inc("back_invalidations")
 		}
-		delete(h.dir, victim.Tag)
+		h.dir.Delete(victim.Tag)
 	}
 	if victim.Dirty {
 		h.dram.WriteBack(victim.Tag, victim.OID, victim.Data)
@@ -499,12 +490,12 @@ func (h *Hierarchy) evictL2Victim(vd int, victim cache.Line, reason Reason) (lat
 		}
 	}
 	// Directory: this VD no longer caches the line.
-	if e, ok := h.dir[victim.Tag]; ok {
-		e.sharers &^= uint64(1) << vd
-		if e.owner == vd {
-			e.owner = -1
+	if e := h.dir.Get(victim.Tag); e != nil {
+		e.Sharers &^= uint64(1) << vd
+		if e.Owner == vd {
+			e.Owner = -1
 		}
-		h.dropEntryIfEmpty(victim.Tag)
+		h.dir.DeleteIfEmpty(victim.Tag)
 	}
 	if victim.Dirty {
 		h.mergeIntoLLC(victim)
@@ -572,16 +563,15 @@ func (h *Hierarchy) FlushVD(vd int) []cache.Line {
 	for _, ln := range dirty {
 		h.mergeIntoLLC(ln)
 	}
-	//nvlint:allow maprange per-entry update/delete, each directory entry is handled independently
-	for addr, e := range h.dir {
-		e.sharers &^= uint64(1) << vd
-		if e.owner == vd {
-			e.owner = -1
+	h.dir.ForEach(func(addr uint64, e *cache.DirEntry) {
+		e.Sharers &^= uint64(1) << vd
+		if e.Owner == vd {
+			e.Owner = -1
 		}
-		if e.sharers == 0 && e.owner == -1 {
-			delete(h.dir, addr)
+		if e.Sharers == 0 && e.Owner == -1 {
+			h.dir.Delete(addr)
 		}
-	}
+	})
 	return dirty
 }
 
@@ -637,17 +627,17 @@ func (h *Hierarchy) CheckInvariants() error {
 			if h.sliceOf(ln.Tag).Peek(ln.Tag) == nil {
 				err = fmt.Errorf("L2 %d holds %#x but LLC does not (inclusion)", vd, ln.Tag)
 			}
-			e := h.dir[ln.Tag]
+			e := h.dir.Get(ln.Tag)
 			if e == nil {
 				err = fmt.Errorf("L2 %d holds %#x with no directory entry", vd, ln.Tag)
 				return
 			}
-			if e.owner != vd && e.sharers&(uint64(1)<<vd) == 0 {
+			if e.Owner != vd && e.Sharers&(uint64(1)<<vd) == 0 {
 				err = fmt.Errorf("L2 %d holds %#x but directory disagrees (owner=%d sharers=%b)",
-					vd, ln.Tag, e.owner, e.sharers)
+					vd, ln.Tag, e.Owner, e.Sharers)
 			}
-			if ln.State.Writable() && e.owner != vd {
-				err = fmt.Errorf("L2 %d holds %#x writable but owner=%d", vd, ln.Tag, e.owner)
+			if ln.State.Writable() && e.Owner != vd {
+				err = fmt.Errorf("L2 %d holds %#x writable but owner=%d", vd, ln.Tag, e.Owner)
 			}
 		})
 		if err != nil {
@@ -656,15 +646,12 @@ func (h *Hierarchy) CheckInvariants() error {
 	}
 	// At most one writable VD per address. Walk the directory in address
 	// order so the first violation reported is stable across runs.
-	addrs := make([]uint64, 0, len(h.dir))
-	for addr := range h.dir {
-		addrs = append(addrs, addr)
-	}
+	addrs := h.dir.AppendKeys(make([]uint64, 0, h.dir.Len()))
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, addr := range addrs {
-		e := h.dir[addr]
-		if e.owner != -1 && e.sharers&(uint64(1)<<e.owner) != 0 {
-			return fmt.Errorf("addr %#x: owner %d also listed as sharer", addr, e.owner)
+		e := h.dir.Get(addr)
+		if e.Owner != -1 && e.Sharers&(uint64(1)<<e.Owner) != 0 {
+			return fmt.Errorf("addr %#x: owner %d also listed as sharer", addr, e.Owner)
 		}
 	}
 	// At most one writable L1 copy per address within a VD.

@@ -66,11 +66,6 @@ type Result struct {
 	StoreOID uint64
 }
 
-type dirEntry struct {
-	sharers uint64
-	owner   int
-}
-
 // Frontend is the version-tagged cache hierarchy of NVOverlay: per-core
 // L1s and per-VD inclusive L2s running the version access protocol, over a
 // non-inclusive victim LLC. Snapshot versions leaving a VD go to the
@@ -83,7 +78,7 @@ type Frontend struct {
 	l1  []*cache.Cache
 	l2  []*cache.Cache
 	llc []*cache.Cache
-	dir map[uint64]*dirEntry
+	dir *cache.Directory
 
 	cur       []uint64 // per-VD current epoch (starts at 1)
 	storeCnt  []int    // stores in the current epoch, per VD
@@ -120,7 +115,7 @@ func New(cfg *sim.Config, dram *mem.DRAM, backend Backend) *Frontend {
 		l1:         make([]*cache.Cache, cfg.Cores),
 		l2:         make([]*cache.Cache, cfg.VDs()),
 		llc:        make([]*cache.Cache, cfg.LLCSlices),
-		dir:        make(map[uint64]*dirEntry),
+		dir:        cache.NewDirectory(),
 		cur:        make([]uint64, cfg.VDs()),
 		storeCnt:   make([]int, cfg.VDs()),
 		totStores:  make([]uint64, cfg.VDs()),
@@ -174,13 +169,11 @@ func (f *Frontend) sliceOf(addr uint64) *cache.Cache {
 	return f.llc[int((addr/uint64(f.cfg.LineSize))%uint64(len(f.llc)))]
 }
 
-func (f *Frontend) entry(addr uint64) *dirEntry {
-	e := f.dir[addr]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		f.dir[addr] = e
-	}
-	return e
+// entry resolves addr's directory entry, creating it on first touch. The
+// pointer is valid until the next GetOrCreate (miss paths resolve it once
+// per access and finish with it before installing new lines).
+func (f *Frontend) entry(addr uint64) *cache.DirEntry {
+	return f.dir.GetOrCreate(addr)
 }
 
 func (f *Frontend) coresOf(vd int) (int, int) {
@@ -338,10 +331,10 @@ func (f *Frontend) load(tid int, addr uint64) uint64 {
 	f.maybeAdvance(vd, rv)
 	e := f.entry(addr)
 	state := cache.Shared
-	if e.sharers == uint64(1)<<vd && e.owner == -1 {
+	if e.Sharers == uint64(1)<<vd && e.Owner == -1 {
 		state = cache.Exclusive
-		e.sharers = 0
-		e.owner = vd
+		e.Sharers = 0
+		e.Owner = vd
 		// An Exclusive grant means no other cached copy may remain: drop
 		// the LLC copy (the VD may silently write newer data in place).
 		// Its dirty-toward-DRAM marker is honoured first.
@@ -409,8 +402,8 @@ func (f *Frontend) store(tid int, addr uint64, data uint64) uint64 {
 		f.l1[c].Invalidate(addr)
 	}
 	e := f.entry(addr)
-	e.sharers = 0
-	e.owner = vd
+	e.Sharers = 0
+	e.Owner = vd
 	// The L2 always receives a clean copy (inclusion); a dirty
 	// cache-to-cache transfer lands in the requestor's L1 still dirty.
 	f.fillL2(vd, addr, cache.Modified, rv, rdata)
@@ -612,14 +605,12 @@ func (f *Frontend) evictL2Victim(vd int, victim cache.Line, reason Reason) {
 			victim.Data = removed.Data
 		}
 	}
-	if e, ok := f.dir[victim.Tag]; ok {
-		e.sharers &^= uint64(1) << vd
-		if e.owner == vd {
-			e.owner = -1
+	if e := f.dir.Get(victim.Tag); e != nil {
+		e.Sharers &^= uint64(1) << vd
+		if e.Owner == vd {
+			e.Owner = -1
 		}
-		if e.sharers == 0 && e.owner == -1 {
-			delete(f.dir, victim.Tag)
-		}
+		f.dir.DeleteIfEmpty(victim.Tag)
 	}
 	if victim.Dirty {
 		f.sendVersion(victim, reason)
@@ -663,24 +654,24 @@ func (f *Frontend) insertLLC(wb cache.Line, dirty bool) {
 // of the data served (§IV-A).
 func (f *Frontend) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64, lat uint64) {
 	e := f.entry(addr)
-	if e.owner != -1 && e.owner != vd {
+	if e.Owner != -1 && e.Owner != vd {
 		lat += f.cfg.RemoteL2Lat
-		rv, data = f.downgradeVD(e.owner, addr)
-		e.sharers |= uint64(1) << e.owner
-		e.owner = -1
-		e.sharers |= uint64(1) << vd
+		rv, data = f.downgradeVD(e.Owner, addr)
+		e.Sharers |= uint64(1) << e.Owner
+		e.Owner = -1
+		e.Sharers |= uint64(1) << vd
 		f.stat.Inc("remote_downgrades")
 		return rv, data, lat
 	}
 	slice := f.sliceOf(addr)
 	if ln := slice.Lookup(addr); ln != nil {
 		f.stat.Inc("llc_hits")
-		e.sharers |= uint64(1) << vd
+		e.Sharers |= uint64(1) << vd
 		return ln.OID, ln.Data, lat
 	}
 	f.stat.Inc("llc_misses")
 	lat += f.dram.Latency()
-	e.sharers |= uint64(1) << vd
+	e.Sharers |= uint64(1) << vd
 	return f.dram.OID(addr), f.dram.Data(addr), lat
 }
 
@@ -691,10 +682,10 @@ func (f *Frontend) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64, 
 func (f *Frontend) fetchExclusive(vd int, addr uint64) (rv, data uint64, dirtyXfer bool, lat uint64) {
 	e := f.entry(addr)
 	haveData := false
-	if e.owner != -1 && e.owner != vd {
+	if e.Owner != -1 && e.Owner != vd {
 		lat += f.cfg.RemoteL2Lat
-		newest, wasDirty := f.invalidateVD(e.owner, addr)
-		e.owner = -1
+		newest, wasDirty := f.invalidateVD(e.Owner, addr)
+		e.Owner = -1
 		if wasDirty {
 			rv, data, dirtyXfer, haveData = newest.OID, newest.Data, true, true
 			f.stat.Inc("c2c_transfers")
@@ -704,12 +695,12 @@ func (f *Frontend) fetchExclusive(vd int, addr uint64) (rv, data uint64, dirtyXf
 		f.stat.Inc("remote_invalidations")
 	}
 	for other := 0; other < f.cfg.VDs(); other++ {
-		if other == vd || e.sharers&(uint64(1)<<other) == 0 {
+		if other == vd || e.Sharers&(uint64(1)<<other) == 0 {
 			continue
 		}
 		lat += f.cfg.RemoteL2Lat
 		f.invalidateVD(other, addr)
-		e.sharers &^= uint64(1) << other
+		e.Sharers &^= uint64(1) << other
 		f.stat.Inc("remote_invalidations")
 	}
 	slice := f.sliceOf(addr)
@@ -817,10 +808,10 @@ func (f *Frontend) invalidateVD(vd int, addr uint64) (newest cache.Line, wasDirt
 			newest = removed
 		}
 	}
-	if e, ok := f.dir[addr]; ok {
-		e.sharers &^= uint64(1) << vd
-		if e.owner == vd {
-			e.owner = -1
+	if e := f.dir.Get(addr); e != nil {
+		e.Sharers &^= uint64(1) << vd
+		if e.Owner == vd {
+			e.Owner = -1
 		}
 	}
 	return newest, wasDirty
@@ -905,7 +896,7 @@ func (f *Frontend) Drain(now uint64) {
 			}
 		}
 	}
-	f.dir = make(map[uint64]*dirEntry)
+	f.dir.Reset()
 	// No min-ver reports here: the backend's Seal merges every remaining
 	// epoch, and reporting would blur the walker's role in experiments.
 }
@@ -951,16 +942,16 @@ func (f *Frontend) CheckInvariants() error {
 			if err != nil {
 				return
 			}
-			e := f.dir[ln.Tag]
+			e := f.dir.Get(ln.Tag)
 			if e == nil {
 				err = fmt.Errorf("L2 %d holds %#x with no directory entry", vd, ln.Tag)
 				return
 			}
-			if e.owner != vd && e.sharers&(uint64(1)<<vd) == 0 {
+			if e.Owner != vd && e.Sharers&(uint64(1)<<vd) == 0 {
 				err = fmt.Errorf("L2 %d holds %#x but directory disagrees", vd, ln.Tag)
 			}
-			if ln.State.Writable() && e.owner != vd {
-				err = fmt.Errorf("L2 %d holds %#x writable but owner=%d", vd, ln.Tag, e.owner)
+			if ln.State.Writable() && e.Owner != vd {
+				err = fmt.Errorf("L2 %d holds %#x writable but owner=%d", vd, ln.Tag, e.Owner)
 			}
 			if ln.OID > f.cur[vd] {
 				err = fmt.Errorf("L2 %d holds %#x tagged epoch %d beyond cur %d",

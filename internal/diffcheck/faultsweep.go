@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/parallel"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 )
@@ -52,27 +53,50 @@ func faultCuts(p Params) []int {
 // class. Every cell must satisfy the salvage-or-refuse contract; the first
 // violation is returned as a Divergence with a deterministic reproducer.
 func RunFaulted(p Params) (FaultResult, *Divergence) {
+	return RunFaultedJobs(p, 1)
+}
+
+// RunFaultedJobs is RunFaulted with the crash-point cells fanned over jobs
+// workers. Each cell replays its own trace prefix from the shared Params
+// (no mutable state crosses cells) and results merge in cut order, so the
+// aggregate — including the concatenated Schedule string and which
+// Divergence is reported first — is byte-identical for every jobs value.
+func RunFaultedJobs(p Params, jobs int) (FaultResult, *Divergence) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	cuts := faultCuts(p)
 	res := FaultResult{Params: p}
 	var sched strings.Builder
-	for _, cut := range faultCuts(p) {
-		pt, cellSched, d := RunFaultPoint(p, cut, nil)
-		if d != nil {
-			return res, d
+	type cell struct {
+		pt    FaultPoint
+		sched string
+		d     *Divergence
+	}
+	var firstDiv *Divergence
+	parallel.ForEachOrdered(jobs, len(cuts), func(i int) cell {
+		pt, cellSched, d := RunFaultPoint(p, cuts[i], nil)
+		return cell{pt, cellSched, d}
+	}, func(i int, c cell) bool {
+		if c.d != nil {
+			firstDiv = c.d
+			return false
 		}
-		res.Points = append(res.Points, pt)
-		res.Events += pt.Events
+		res.Points = append(res.Points, c.pt)
+		res.Events += c.pt.Events
 		switch {
-		case pt.Refused:
+		case c.pt.Refused:
 			res.Refusals++
-		case pt.WalkedBack:
+		case c.pt.WalkedBack:
 			res.WalkedBack++
 		default:
 			res.Restored++
 		}
-		fmt.Fprintf(&sched, "# cut=%d\n%s\n", cut, cellSched)
+		fmt.Fprintf(&sched, "# cut=%d\n%s\n", cuts[i], c.sched)
+		return true
+	})
+	if firstDiv != nil {
+		return res, firstDiv
 	}
 	res.Schedule = sched.String()
 	return res, nil

@@ -7,13 +7,24 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// accessesRun counts simulated accesses across every Run call in the
+// process. cmd/nvbench reads the deltas to report accesses/sec per
+// experiment; the final value is a deterministic sum regardless of how the
+// cells were scheduled.
+var accessesRun atomic.Uint64
+
+// AccessesRun returns the total accesses simulated by Run so far.
+func AccessesRun() uint64 { return accessesRun.Load() }
 
 // Scale selects run sizes. The paper simulates 100M instructions/thread
 // with 1M-store epochs on zsim; these scales keep the same epoch-to-run
@@ -39,6 +50,12 @@ type Scale struct {
 	// write set must exceed an L2 but fit the LLC, exactly as 1M-store
 	// epochs relate to 256KB/32MB on the Table II machine.
 	Machine func(*sim.Config)
+	// Jobs is the worker count for the sweep engine: each figure fans its
+	// independent (scheme, workload, config) cells over this many workers
+	// and merges results in canonical cell order, so every value of Jobs
+	// produces byte-identical figures (see internal/parallel). 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the cells serially in place.
+	Jobs int
 }
 
 // Predefined scales. EpochSize counts machine-global stores; stores are
@@ -130,7 +147,41 @@ func Run(schemeName, wlName string, scale Scale, cfgMod func(*sim.Config)) (RunR
 	}
 	d := trace.NewDriver(&cfg, s, wl, scale.MaxAccesses)
 	sum := d.Run()
+	accessesRun.Add(sum.Accesses)
 	return RunResult{Sum: sum, Scheme: s}, nil
+}
+
+// cellSpec names one independent cell of a figure's sweep grid. Cells
+// share no mutable state (Run builds a fresh config, scheme, workload and
+// driver per call, and all randomness is seeded from the config), which is
+// what lets the figures fan them out.
+type cellSpec struct {
+	scheme string
+	wl     string
+	mod    func(*sim.Config)
+}
+
+// runCells executes every cell at scale.Jobs-way parallelism and returns
+// the results in cell order — the same order a serial loop over the specs
+// would produce. On failure the first error in cell order is returned,
+// matching which error a serial sweep would have surfaced.
+func runCells(scale Scale, cells []cellSpec) ([]RunResult, error) {
+	type outcome struct {
+		r   RunResult
+		err error
+	}
+	res := parallel.Map(parallel.Jobs(scale.Jobs), len(cells), func(i int) outcome {
+		r, err := Run(cells[i].scheme, cells[i].wl, scale, cells[i].mod)
+		return outcome{r, err}
+	})
+	out := make([]RunResult, len(cells))
+	for i, o := range res {
+		if o.err != nil {
+			return nil, o.err
+		}
+		out[i] = o.r
+	}
+	return out, nil
 }
 
 // Matrix is a workloads x schemes table of float64 values.

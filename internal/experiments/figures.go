@@ -19,18 +19,22 @@ func Fig11(scale Scale, workloads []string) (*Matrix, error) {
 		workloads = workload.Names()
 	}
 	m := newMatrix("Fig 11: Normalized Cycles (vs no-snapshotting ideal)", workloads, SchemeNames)
+	stride := 1 + len(SchemeNames) // ideal + comparison schemes per workload
+	cells := make([]cellSpec, 0, len(workloads)*stride)
 	for _, wl := range workloads {
-		ideal, err := Run("Ideal", wl, scale, nil)
-		if err != nil {
-			return nil, err
-		}
-		base := float64(ideal.Sum.Cycles)
+		cells = append(cells, cellSpec{scheme: "Ideal", wl: wl})
 		for _, sc := range SchemeNames {
-			r, err := Run(sc, wl, scale, nil)
-			if err != nil {
-				return nil, err
-			}
-			m.Set(wl, sc, float64(r.Sum.Cycles)/base)
+			cells = append(cells, cellSpec{scheme: sc, wl: wl})
+		}
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, wl := range workloads {
+		base := float64(res[i*stride].Sum.Cycles)
+		for j, sc := range SchemeNames {
+			m.Set(wl, sc, float64(res[i*stride+1+j].Sum.Cycles)/base)
 		}
 	}
 	return m, nil
@@ -45,19 +49,23 @@ func Fig12(scale Scale, workloads []string) (*Matrix, error) {
 	}
 	schemes := []string{"HWShadow", "PiCL", "PiCL-L2", "NVOverlay"}
 	m := newMatrix("Fig 12: NVM Write Bytes (data+log+metadata, normalized to NVOverlay)", workloads, schemes)
+	stride := 1 + 3 // NVOverlay (the normalisation base) + three baselines
+	cells := make([]cellSpec, 0, len(workloads)*stride)
 	for _, wl := range workloads {
-		nvo, err := Run("NVOverlay", wl, scale, nil)
-		if err != nil {
-			return nil, err
-		}
-		base := float64(snapshotBytes(nvo.Sum))
-		m.Set(wl, "NVOverlay", 1.0)
+		cells = append(cells, cellSpec{scheme: "NVOverlay", wl: wl})
 		for _, sc := range schemes[:3] {
-			r, err := Run(sc, wl, scale, nil)
-			if err != nil {
-				return nil, err
-			}
-			m.Set(wl, sc, float64(snapshotBytes(r.Sum))/base)
+			cells = append(cells, cellSpec{scheme: sc, wl: wl})
+		}
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, wl := range workloads {
+		base := float64(snapshotBytes(res[i*stride].Sum))
+		m.Set(wl, "NVOverlay", 1.0)
+		for j, sc := range schemes[:3] {
+			m.Set(wl, sc, float64(snapshotBytes(res[i*stride+1+j].Sum))/base)
 		}
 	}
 	return m, nil
@@ -86,13 +94,17 @@ func Fig13(scale Scale, workloads []string) ([]Fig13Row, error) {
 	if workloads == nil {
 		workloads = workload.Names()
 	}
+	cells := make([]cellSpec, len(workloads))
+	for i, wl := range workloads {
+		cells[i] = cellSpec{scheme: "NVOverlay", wl: wl}
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig13Row
-	for _, wl := range workloads {
-		r, err := Run("NVOverlay", wl, scale, nil)
-		if err != nil {
-			return nil, err
-		}
-		nvo := r.Scheme.(*core.NVOverlay)
+	for i, wl := range workloads {
+		nvo := res[i].Scheme.(*core.NVOverlay)
 		ws := nvo.Group().WorkingSetBytes()
 		var pct float64
 		if ws > 0 {
@@ -123,24 +135,30 @@ type Fig14Point struct {
 func Fig14(scale Scale) ([]Fig14Point, error) {
 	sizes := []int{scale.EpochSize / 2, scale.EpochSize, scale.EpochSize * 2, scale.EpochSize * 4}
 	schemes := []string{"PiCL", "PiCL-L2", "NVOverlay"}
-	var out []Fig14Point
+	const stride = 4 // Ideal + NVOverlay + PiCL + PiCL-L2 per epoch size
+	cells := make([]cellSpec, 0, len(sizes)*stride)
 	for _, size := range sizes {
 		mod := func(c *sim.Config) { c.EpochSize = size }
-		ideal, err := Run("Ideal", "art", scale, mod)
-		if err != nil {
-			return nil, err
-		}
-		nvo, err := Run("NVOverlay", "art", scale, mod)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			cellSpec{scheme: "Ideal", wl: "art", mod: mod},
+			cellSpec{scheme: "NVOverlay", wl: "art", mod: mod},
+			cellSpec{scheme: "PiCL", wl: "art", mod: mod},
+			cellSpec{scheme: "PiCL-L2", wl: "art", mod: mod})
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig14Point
+	for si, size := range sizes {
+		ideal, nvo := res[si*stride], res[si*stride+1]
 		for _, sc := range schemes {
 			r := nvo
-			if sc != "NVOverlay" {
-				r, err = Run(sc, "art", scale, mod)
-				if err != nil {
-					return nil, err
-				}
+			switch sc {
+			case "PiCL":
+				r = res[si*stride+2]
+			case "PiCL-L2":
+				r = res[si*stride+3]
 			}
 			out = append(out, Fig14Point{
 				Scheme:     sc,
@@ -166,36 +184,48 @@ type Fig15Row struct {
 // Fig15 regenerates Figure 15: the evict-reason decomposition on ART for
 // PiCL, PiCL-L2 and NVOverlay, with and without the tag walker.
 func Fig15(scale Scale) ([]Fig15Row, error) {
-	var rows []Fig15Row
+	type variant struct {
+		scheme string
+		walker bool
+	}
+	var grid []variant
+	var cells []cellSpec
 	for _, walker := range []bool{true, false} {
 		for _, sc := range []string{"PiCL", "PiCL-L2", "NVOverlay"} {
-			r, err := Run(sc, "art", scale, func(c *sim.Config) { c.TagWalker = walker })
-			if err != nil {
-				return nil, err
-			}
-			var capN, cohN, walkN uint64
-			switch s := r.Scheme.(type) {
-			case *core.NVOverlay:
-				fe := s.Frontend()
-				capN = fe.EvictReason(cst.ReasonCapacity) + fe.EvictReason(cst.ReasonDrain)
-				cohN = fe.EvictReason(cst.ReasonCoherence) + fe.EvictReason(cst.ReasonStoreEvict)
-				walkN = fe.EvictReason(cst.ReasonWalk)
-			case interface {
-				EvictReasons() (uint64, uint64, uint64, uint64)
-			}:
-				var logN uint64
-				capN, cohN, walkN, logN = s.EvictReasons()
-				cohN += logN // the paper groups coherence and log traffic
-			}
-			total := capN + cohN + walkN
-			row := Fig15Row{Scheme: sc, Walker: walker, Total: total}
-			if total > 0 {
-				row.CapacityPct = 100 * float64(capN) / float64(total)
-				row.CoherencePct = 100 * float64(cohN) / float64(total)
-				row.WalkPct = 100 * float64(walkN) / float64(total)
-			}
-			rows = append(rows, row)
+			grid = append(grid, variant{sc, walker})
+			cells = append(cells, cellSpec{scheme: sc, wl: "art",
+				mod: func(c *sim.Config) { c.TagWalker = walker }})
 		}
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig15Row
+	for i, v := range grid {
+		r := res[i]
+		var capN, cohN, walkN uint64
+		switch s := r.Scheme.(type) {
+		case *core.NVOverlay:
+			fe := s.Frontend()
+			capN = fe.EvictReason(cst.ReasonCapacity) + fe.EvictReason(cst.ReasonDrain)
+			cohN = fe.EvictReason(cst.ReasonCoherence) + fe.EvictReason(cst.ReasonStoreEvict)
+			walkN = fe.EvictReason(cst.ReasonWalk)
+		case interface {
+			EvictReasons() (uint64, uint64, uint64, uint64)
+		}:
+			var logN uint64
+			capN, cohN, walkN, logN = s.EvictReasons()
+			cohN += logN // the paper groups coherence and log traffic
+		}
+		total := capN + cohN + walkN
+		row := Fig15Row{Scheme: v.scheme, Walker: v.walker, Total: total}
+		if total > 0 {
+			row.CapacityPct = 100 * float64(capN) / float64(total)
+			row.CoherencePct = 100 * float64(cohN) / float64(total)
+			row.WalkPct = 100 * float64(walkN) / float64(total)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -217,14 +247,14 @@ func Fig16(scale Scale) (Fig16Result, error) {
 			c.OMCBuffer = buf
 		}
 	}
-	noBuf, err := Run("NVOverlay", "art", scale, oneEpoch(false))
+	res, err := runCells(scale, []cellSpec{
+		{scheme: "NVOverlay", wl: "art", mod: oneEpoch(false)},
+		{scheme: "NVOverlay", wl: "art", mod: oneEpoch(true)},
+	})
 	if err != nil {
 		return Fig16Result{}, err
 	}
-	withBuf, err := Run("NVOverlay", "art", scale, oneEpoch(true))
-	if err != nil {
-		return Fig16Result{}, err
-	}
+	noBuf, withBuf := res[0], res[1]
 	nvo := withBuf.Scheme.(*core.NVOverlay)
 	return Fig16Result{
 		NormCyclesNoBuffer: float64(noBuf.Sum.Cycles) / float64(withBuf.Sum.Cycles),
@@ -268,17 +298,22 @@ func Fig17(scale Scale, bursty bool) ([]Fig17Series, error) {
 			{From: 3 * est / 5, To: 3*est/5 + win, Size: burst(10)},
 		}
 	}
+	schemes := []string{"PiCL", "NVOverlay"}
+	cells := make([]cellSpec, len(schemes))
+	for i, sc := range schemes {
+		cells[i] = cellSpec{scheme: sc, wl: "btree", mod: mod}
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig17Series
-	for _, sc := range []string{"PiCL", "NVOverlay"} {
-		r, err := Run(sc, "btree", scale, mod)
-		if err != nil {
-			return nil, err
-		}
+	for i, sc := range schemes {
 		cfg := sim.DefaultConfig()
 		out = append(out, Fig17Series{
 			Scheme: sc,
 			Bursty: bursty,
-			Series: r.Scheme.NVM().Series(),
+			Series: res[i].Scheme.NVM().Series(),
 			Hz:     cfg.ClockHz,
 		})
 	}
@@ -297,14 +332,14 @@ type SuperBlockResult struct {
 
 // AblateSuperBlock runs the comparison.
 func AblateSuperBlock(scale Scale) (SuperBlockResult, error) {
-	line, err := Run("NVOverlay", "btree", scale, func(c *sim.Config) { c.SuperBlock = 1 })
+	res, err := runCells(scale, []cellSpec{
+		{scheme: "NVOverlay", wl: "btree", mod: func(c *sim.Config) { c.SuperBlock = 1 }},
+		{scheme: "NVOverlay", wl: "btree", mod: func(c *sim.Config) { c.SuperBlock = 4 }},
+	})
 	if err != nil {
 		return SuperBlockResult{}, err
 	}
-	super, err := Run("NVOverlay", "btree", scale, func(c *sim.Config) { c.SuperBlock = 4 })
-	if err != nil {
-		return SuperBlockResult{}, err
-	}
+	line, super := res[0], res[1]
 	return SuperBlockResult{
 		SideBandBytesLine:  line.Scheme.(*core.NVOverlay).DRAM().SideBandBytes(),
 		SideBandBytesSuper: super.Scheme.(*core.NVOverlay).DRAM().SideBandBytes(),
@@ -324,22 +359,20 @@ type WalkerAblation struct {
 
 // AblateWalker runs the comparison on ART.
 func AblateWalker(scale Scale) (WalkerAblation, error) {
-	runOne := func(on bool) (uint64, int64, error) {
-		r, err := Run("NVOverlay", "art", scale, func(c *sim.Config) { c.TagWalker = on })
-		if err != nil {
-			return 0, 0, err
-		}
-		return r.Sum.Cycles, r.Scheme.Stats().Get("recepoch_advances"), nil
-	}
-	cycOn, advOn, err := runOne(true)
+	res, err := runCells(scale, []cellSpec{
+		{scheme: "NVOverlay", wl: "art", mod: func(c *sim.Config) { c.TagWalker = true }},
+		{scheme: "NVOverlay", wl: "art", mod: func(c *sim.Config) { c.TagWalker = false }},
+	})
 	if err != nil {
 		return WalkerAblation{}, err
 	}
-	cycOff, advOff, err := runOne(false)
-	if err != nil {
-		return WalkerAblation{}, err
-	}
-	return WalkerAblation{cycOn, cycOff, advOn, advOff}, nil
+	on, off := res[0], res[1]
+	return WalkerAblation{
+		CyclesOn:    on.Sum.Cycles,
+		CyclesOff:   off.Sum.Cycles,
+		AdvancesOn:  on.Scheme.Stats().Get("recepoch_advances"),
+		AdvancesOff: off.Scheme.Stats().Get("recepoch_advances"),
+	}, nil
 }
 
 // ScalePoint is one core-count measurement of the scalability sweep.
@@ -356,9 +389,11 @@ type ScalePoint struct {
 // Cache capacities scale with the core count so per-core pressure is
 // constant.
 func AblateScaling(scale Scale) ([]ScalePoint, error) {
-	var out []ScalePoint
-	for _, cores := range []int{4, 8, 16, 32} {
-		cores := cores
+	coreCounts := []int{4, 8, 16, 32}
+	schemes := []string{"PiCL-L2", "NVOverlay"}
+	stride := 1 + len(schemes) // Ideal + the two schemes per core count
+	cells := make([]cellSpec, 0, len(coreCounts)*stride)
+	for _, cores := range coreCounts {
 		mod := func(c *sim.Config) {
 			base := sim.DefaultConfig()
 			if scale.Machine != nil {
@@ -372,15 +407,20 @@ func AblateScaling(scale Scale) ([]ScalePoint, error) {
 				c.NVMBanks = 2
 			}
 		}
-		ideal, err := Run("Ideal", "rbtree", scale, mod)
-		if err != nil {
-			return nil, err
+		cells = append(cells, cellSpec{scheme: "Ideal", wl: "rbtree", mod: mod})
+		for _, sc := range schemes {
+			cells = append(cells, cellSpec{scheme: sc, wl: "rbtree", mod: mod})
 		}
-		for _, sc := range []string{"PiCL-L2", "NVOverlay"} {
-			r, err := Run(sc, "rbtree", scale, mod)
-			if err != nil {
-				return nil, err
-			}
+	}
+	res, err := runCells(scale, cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalePoint
+	for ci, cores := range coreCounts {
+		ideal := res[ci*stride]
+		for j, sc := range schemes {
+			r := res[ci*stride+1+j]
 			out = append(out, ScalePoint{
 				Cores:      cores,
 				Scheme:     sc,

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapMatchesSerial(t *testing.T) {
+	cell := func(i int) int { return i*i + 7 }
+	want := Map(1, 100, cell)
+	for _, j := range []int{0, 2, 3, 8, 64, 200} {
+		got := Map(j, 100, cell)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Map(j=%d) diverges from serial: got %v want %v", j, got, want)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map over zero cells = %v, want nil", got)
+	}
+}
+
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	Map(8, n, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times, want exactly once", i, c)
+		}
+	}
+}
+
+func TestForEachOrderedDeliversInOrder(t *testing.T) {
+	for _, j := range []int{1, 2, 8, 33} {
+		var seen []int
+		ForEachOrdered(j, 64, func(i int) int { return i * 3 }, func(i, v int) bool {
+			if v != i*3 {
+				t.Fatalf("j=%d: cell %d delivered value %d, want %d", j, i, v, i*3)
+			}
+			seen = append(seen, i)
+			return true
+		})
+		if len(seen) != 64 {
+			t.Fatalf("j=%d: consumed %d results, want 64", j, len(seen))
+		}
+		for i, idx := range seen {
+			if idx != i {
+				t.Fatalf("j=%d: delivery order broken at position %d: got index %d", j, i, idx)
+			}
+		}
+	}
+}
+
+func TestForEachOrderedEarlyStop(t *testing.T) {
+	const stopAt = 10
+	for _, j := range []int{1, 4, 16} {
+		var consumed []int
+		ForEachOrdered(j, 200, func(i int) int { return i }, func(i, v int) bool {
+			consumed = append(consumed, i)
+			return i < stopAt
+		})
+		// Exactly indices 0..stopAt are consumed — identical to the serial
+		// loop — no matter how many later cells had already completed.
+		if len(consumed) != stopAt+1 {
+			t.Fatalf("j=%d: consumed %v, want exactly 0..%d", j, consumed, stopAt)
+		}
+		for i, idx := range consumed {
+			if idx != i {
+				t.Fatalf("j=%d: consumed[%d] = %d, want %d", j, i, idx, i)
+			}
+		}
+	}
+}
+
+func TestJobsNormalisation(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(5); got != 5 {
+		t.Fatalf("Jobs(5) = %d, want 5", got)
+	}
+}

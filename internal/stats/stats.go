@@ -47,10 +47,14 @@ func (s *Set) Keys() []string {
 	return keys
 }
 
-// Merge adds every counter of other into s.
+// Merge adds every counter of other into s, in sorted key order. Addition
+// commutes, but the deterministic order keeps every observable side effect
+// (lazy counter creation, future hooks) independent of map iteration, so a
+// merged set is bit-identical however the parallel sweep scheduled the
+// runs that produced it.
 func (s *Set) Merge(other *Set) {
-	for k, v := range other.counters {
-		s.counters[k] += v
+	for _, k := range other.Keys() {
+		s.counters[k] += other.counters[k]
 	}
 }
 

@@ -42,10 +42,11 @@ type Scheme interface {
 // and later replayed into the scheme by the driver. Payload tokens are
 // auto-generated so recovery tests can verify snapshot contents.
 type Heap struct {
-	cfg   *sim.Config
-	brk   uint64
-	ops   []Op
-	token uint64
+	cfg       *sim.Config
+	brk       uint64
+	ops       []Op
+	token     uint64
+	recording bool
 
 	// TotalAllocated tracks the heap footprint.
 	TotalAllocated int64
@@ -54,10 +55,18 @@ type Heap struct {
 // HeapBase is where workload allocations start in the physical space.
 const HeapBase uint64 = 1 << 30
 
-// NewHeap creates an empty heap.
+// NewHeap creates an empty heap with recording enabled.
 func NewHeap(cfg *sim.Config) *Heap {
-	return &Heap{cfg: cfg, brk: HeapBase}
+	return &Heap{cfg: cfg, brk: HeapBase, recording: true}
 }
+
+// SetRecording switches access recording on or off. With recording off,
+// Load/Store skip the op buffer entirely (the driver disables it for
+// workload Setup, whose accesses are untimed and would otherwise be
+// recorded only to be discarded — by far the largest allocation source in
+// a run). Store still consumes a token either way, so the payload stream a
+// workload observes is identical in both modes.
+func (h *Heap) SetRecording(on bool) { h.recording = on }
 
 // Alloc reserves size bytes and returns the base address. Allocations are
 // line-aligned when size >= one line, 8-byte aligned otherwise, mimicking a
@@ -79,13 +88,18 @@ func (h *Heap) Alloc(size int) uint64 {
 
 // Load records a read of the word at addr.
 func (h *Heap) Load(addr uint64) {
+	if !h.recording {
+		return
+	}
 	h.ops = append(h.ops, Op{Addr: addr})
 }
 
 // Store records a write of the word at addr and returns the token written.
 func (h *Heap) Store(addr uint64) uint64 {
 	h.token++
-	h.ops = append(h.ops, Op{Addr: addr, Write: true, Data: h.token})
+	if h.recording {
+		h.ops = append(h.ops, Op{Addr: addr, Write: true, Data: h.token})
+	}
 	return h.token
 }
 
@@ -103,12 +117,23 @@ func (h *Heap) StoreRange(addr uint64, size int) {
 	}
 }
 
-// Drain removes and returns the accesses recorded since the last call.
+// Drain removes and returns the accesses recorded since the last call. The
+// returned slice is detached (a subsequent record never overwrites it), so
+// callers may hold on to it; the driver's replay loop uses Ops/ResetOps
+// instead to reuse one buffer for the whole run.
 func (h *Heap) Drain() []Op {
 	ops := h.ops
 	h.ops = h.ops[len(h.ops):]
 	return ops
 }
+
+// Ops returns the accesses recorded since the last Drain/ResetOps without
+// detaching them: the slice is only valid until the next recorded access
+// after ResetOps.
+func (h *Heap) Ops() []Op { return h.ops }
+
+// ResetOps discards the recorded accesses, retaining the buffer for reuse.
+func (h *Heap) ResetOps() { h.ops = h.ops[:0] }
 
 // Pending returns the number of recorded, undelivered accesses.
 func (h *Heap) Pending() int { return len(h.ops) }
@@ -204,8 +229,9 @@ func (d *Driver) Heap() *Heap { return d.heap }
 // scheme, and returns the run summary.
 func (d *Driver) Run() Summary {
 	setupRNG := sim.NewRNG(d.cfg.Seed)
+	d.heap.SetRecording(false) // setup accesses are untimed
 	d.wl.Setup(d.heap, setupRNG)
-	d.heap.Drain() // setup accesses are untimed
+	d.heap.SetRecording(true)
 
 	live := make([]bool, d.cfg.Cores)
 	for i := range live {
@@ -219,11 +245,11 @@ func (d *Driver) Run() Summary {
 		}
 		if !d.wl.Step(tid, d.heap, d.rngs[tid]) {
 			live[tid] = false
-			d.heap.Drain()
+			d.heap.ResetOps()
 			continue
 		}
 		ops++
-		for _, op := range d.heap.Drain() {
+		for _, op := range d.heap.Ops() {
 			lat := d.scheme.Access(tid, op.Addr, op.Write, op.Data)
 			d.clocks.Advance(tid, lat+pipelineCost)
 			d.issued++
@@ -235,6 +261,7 @@ func (d *Driver) Run() Summary {
 				d.scheme.NVM().Tick(d.clocks.Max())
 			}
 		}
+		d.heap.ResetOps()
 	}
 	end := d.clocks.Max()
 	// Teardown (drain + seal) is not part of the run's bandwidth profile.
