@@ -8,6 +8,7 @@
 //	nvbench -exp fig12 -workloads btree,art,kmeans
 //	nvbench -exp fig17b
 //	nvbench -exp all -j 8 -json results.json
+//	nvbench -exp timeline -workloads btree -events events.jsonl
 //	nvbench -exp fig11 -cpuprofile cpu.out -memprofile mem.out
 //
 // Every figure fans its independent simulation cells across -j workers and
@@ -19,6 +20,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -56,48 +59,99 @@ type hostInfo struct {
 }
 
 // expRecord is one experiment's metrics: its figure output plus the
-// wall-clock cost of regenerating it.
+// wall-clock cost of regenerating it. AccessesPerSec is a pointer so a run
+// too fast for the clock to resolve (secs == 0) omits the field instead of
+// emitting Inf/NaN, which encoding/json refuses to marshal — that failure
+// mode used to kill the whole -json report.
 type expRecord struct {
-	Name           string  `json:"name"`
-	Seconds        float64 `json:"seconds"`
-	Accesses       uint64  `json:"accesses"`
-	AccessesPerSec float64 `json:"accesses_per_sec"`
-	Result         any     `json:"result"`
+	Name           string   `json:"name"`
+	Seconds        float64  `json:"seconds"`
+	Accesses       uint64   `json:"accesses"`
+	AccessesPerSec *float64 `json:"accesses_per_sec,omitempty"`
+	Result         any      `json:"result"`
+}
+
+// rate returns accesses/sec as a JSON-safe optional: nil unless the value
+// is finite (secs > 0 and the division did not overflow).
+func rate(accesses uint64, secs float64) *float64 {
+	if secs <= 0 {
+		return nil
+	}
+	v := float64(accesses) / secs
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// options is the parsed command line.
+type options struct {
+	exp        string
+	scale      string
+	wlCSV      string
+	seed       int64
+	faults     string
+	timing     bool
+	jobs       int
+	jsonOut    string
+	events     string
+	timeline   bool
+	cpuProfile string
+	memProfile string
+	traceOut   string
+}
+
+// parseFlags decodes the command line without touching the process-global
+// flag set, so tests can drive it directly.
+func parseFlags(args []string, errOut io.Writer) (options, error) {
+	fs := flag.NewFlagSet("nvbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	o := options{}
+	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, all")
+	fs.StringVar(&o.scale, "scale", "quick", "run scale: smoke, quick, full")
+	fs.StringVar(&o.wlCSV, "workloads", "", "comma-separated workload subset (default: all twelve)")
+	fs.Int64Var(&o.seed, "seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
+	fs.StringVar(&o.faults, "faults", "", "NVM fault-injection class for NVOverlay runs (torn, flip, loss, nak, all); the fault schedule derives from -seed and replays byte-identically")
+	fs.BoolVar(&o.timing, "time", true, "print wall-clock duration per experiment")
+	fs.IntVar(&o.jobs, "j", 0, "sweep workers; output is byte-identical for every value (0: GOMAXPROCS, 1: serial)")
+	fs.StringVar(&o.jsonOut, "json", "", "write machine-readable results (figures + wall-clock + accesses/sec) to this file")
+	fs.StringVar(&o.events, "events", "", "write the timeline experiment's JSONL event stream to this file (implies the timeline experiment)")
+	fs.BoolVar(&o.timeline, "timeline", false, "run the timeline experiment (per-epoch rollups) in addition to -exp")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file (taken at exit)")
+	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	return o, nil
 }
 
 func main() {
-	if err := realMain(); err != nil {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvbench:", err)
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nvbench:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain() error {
-	var (
-		exp        = flag.String("exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, all")
-		scale      = flag.String("scale", "quick", "run scale: smoke, quick, full")
-		wlCSV      = flag.String("workloads", "", "comma-separated workload subset (default: all twelve)")
-		seed       = flag.Int64("seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
-		faults     = flag.String("faults", "", "NVM fault-injection class for NVOverlay runs (torn, flip, loss, nak, all); the fault schedule derives from -seed and replays byte-identically")
-		timing     = flag.Bool("time", true, "print wall-clock duration per experiment")
-		jobs       = flag.Int("j", 0, "sweep workers; output is byte-identical for every value (0: GOMAXPROCS, 1: serial)")
-		jsonOut    = flag.String("json", "", "write machine-readable results (figures + wall-clock + accesses/sec) to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
-		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
-	)
-	flag.Parse()
-
-	sc, err := scaleByName(*scale)
+func run(o options, out io.Writer) error {
+	sc, err := scaleByName(o.scale)
 	if err != nil {
 		return err
 	}
-	sc.Seed = *seed
-	sc.FaultClass = *faults
-	sc.Jobs = *jobs
+	sc.Seed = o.seed
+	sc.FaultClass = o.faults
+	sc.Jobs = o.jobs
 	var wls []string
-	if *wlCSV != "" {
-		wls = strings.Split(*wlCSV, ",")
+	if o.wlCSV != "" {
+		wls = strings.Split(o.wlCSV, ",")
 		for _, w := range wls {
 			if _, err := workload.Get(w); err != nil {
 				return err
@@ -105,8 +159,8 @@ func realMain() error {
 		}
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
 		if err != nil {
 			return err
 		}
@@ -116,8 +170,8 @@ func realMain() error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			return err
 		}
@@ -127,9 +181,9 @@ func realMain() error {
 		}
 		defer rtrace.Stop()
 	}
-	if *memProfile != "" {
+	if o.memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
+			f, err := os.Create(o.memProfile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "nvbench: memprofile:", err)
 				return
@@ -146,8 +200,8 @@ func realMain() error {
 		Tool:       "nvbench",
 		Scale:      sc.Name,
 		Jobs:       parallel.Jobs(sc.Jobs),
-		Seed:       *seed,
-		FaultClass: *faults,
+		Seed:       o.seed,
+		FaultClass: o.faults,
 		Host: hostInfo{
 			CPUs:       runtime.NumCPU(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -157,9 +211,8 @@ func realMain() error {
 		},
 	}
 	start := time.Now()
-	out := os.Stdout
 
-	run := func(name string, f func() (any, error)) error {
+	runExp := func(name string, f func() (any, error)) error {
 		t0 := time.Now()
 		a0 := experiments.AccessesRun()
 		result, err := f()
@@ -167,15 +220,13 @@ func realMain() error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		secs := time.Since(t0).Seconds()
-		if *timing {
-			fmt.Printf("[%s took %.1fs]\n", name, secs)
+		if o.timing {
+			fmt.Fprintf(out, "[%s took %.1fs]\n", name, secs)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		rec := expRecord{Name: name, Seconds: secs,
 			Accesses: experiments.AccessesRun() - a0, Result: result}
-		if secs > 0 {
-			rec.AccessesPerSec = float64(rec.Accesses) / secs
-		}
+		rec.AccessesPerSec = rate(rec.Accesses, secs)
 		rep.Experiments = append(rep.Experiments, rec)
 		return nil
 	}
@@ -194,9 +245,9 @@ func realMain() error {
 				sc.Machine(&cfg)
 			}
 			experiments.PrintConfig(out, &cfg)
-			fmt.Printf("  Scale       %s: %d accesses, caches scaled to keep the paper's\n",
+			fmt.Fprintf(out, "  Scale       %s: %d accesses, caches scaled to keep the paper's\n",
 				sc.Name, sc.MaxAccesses)
-			fmt.Println("              epoch-write-set vs L2/LLC capacity relationships")
+			fmt.Fprintln(out, "              epoch-write-set vs L2/LLC capacity relationships")
 			return nil, nil
 		}},
 		{"fig11", func() (any, error) {
@@ -287,33 +338,62 @@ func realMain() error {
 			experiments.PrintWalker(out, r)
 			return r, nil
 		}},
+		{"timeline", func() (any, error) {
+			tw := wls
+			if tw == nil {
+				tw = workload.Names()
+			}
+			cells, err := experiments.Timeline(sc, tw, o.events != "")
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintTimeline(out, cells)
+			if o.events != "" {
+				stream := experiments.ConcatEvents(cells)
+				if err := os.WriteFile(o.events, stream, 0o644); err != nil {
+					return nil, fmt.Errorf("writing event stream: %w", err)
+				}
+				fmt.Fprintf(out, "wrote event stream to %s\n", o.events)
+			}
+			return cells, nil
+		}},
 	}
 
-	all := *exp == "all"
+	// The timeline experiment only runs when asked for — by name, by
+	// -timeline, or implicitly by -events — so "all" keeps regenerating
+	// exactly the paper's figures.
+	wantTimeline := o.timeline || o.events != ""
+	all := o.exp == "all"
 	matched := false
 	for _, spec := range specs {
-		if !all && *exp != spec.name {
+		sel := spec.name == o.exp
+		if spec.name == "timeline" {
+			sel = sel || wantTimeline
+		} else {
+			sel = sel || all
+		}
+		if !sel {
 			continue
 		}
 		matched = true
-		if err := run(spec.name, spec.fn); err != nil {
+		if err := runExp(spec.name, spec.fn); err != nil {
 			return err
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q", *exp)
+		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
 
-	if *jsonOut != "" {
+	if o.jsonOut != "" {
 		rep.TotalSeconds = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(o.jsonOut, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+		fmt.Fprintf(out, "wrote %s\n", o.jsonOut)
 	}
 	return nil
 }

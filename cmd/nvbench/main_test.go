@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRateJSONSafe is the regression test for the -json rate fields: a run
+// too fast for the wall clock (secs == 0) used to yield +Inf, which
+// encoding/json cannot marshal, killing the whole report.
+func TestRateJSONSafe(t *testing.T) {
+	cases := []struct {
+		name     string
+		accesses uint64
+		secs     float64
+		want     *float64
+	}{
+		{"zero wall clock", 1_000_000, 0, nil},
+		{"negative wall clock", 1_000_000, -1, nil},
+		{"denormal wall clock overflows", math.MaxUint64, 5e-324, nil},
+		{"normal", 1000, 2, ptr(500)},
+		{"zero accesses", 0, 2, ptr(0)},
+	}
+	for _, tc := range cases {
+		got := rate(tc.accesses, tc.secs)
+		switch {
+		case got == nil && tc.want == nil:
+		case got == nil || tc.want == nil:
+			t.Errorf("%s: rate(%d, %g) = %v, want %v", tc.name, tc.accesses, tc.secs, got, tc.want)
+		case *got != *tc.want:
+			t.Errorf("%s: rate(%d, %g) = %g, want %g", tc.name, tc.accesses, tc.secs, *got, *tc.want)
+		}
+	}
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// TestExpRecordMarshalZeroClock marshals a report whose experiment finished
+// inside one clock tick and checks the rate field is omitted, not Inf.
+func TestExpRecordMarshalZeroClock(t *testing.T) {
+	rec := expRecord{Name: "fig11", Seconds: 0, Accesses: 12345}
+	rec.AccessesPerSec = rate(rec.Accesses, rec.Seconds)
+	data, err := json.Marshal(report{Tool: "nvbench", Experiments: []expRecord{rec}})
+	if err != nil {
+		t.Fatalf("report with zero wall clock fails to marshal: %v", err)
+	}
+	if strings.Contains(string(data), "accesses_per_sec") {
+		t.Fatalf("zero-clock record should omit accesses_per_sec: %s", data)
+	}
+
+	rec.Seconds = 0.5
+	rec.AccessesPerSec = rate(rec.Accesses, rec.Seconds)
+	data, err = json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"accesses_per_sec":24690`) {
+		t.Fatalf("normal record should carry the rate: %s", data)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-exp", "fig12", "-scale", "smoke", "-j", "3",
+		"-events", "ev.jsonl"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp != "fig12" || o.scale != "smoke" || o.jobs != 3 || o.events != "ev.jsonl" {
+		t.Fatalf("parseFlags mismatch: %+v", o)
+	}
+	if _, err := parseFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Fatal("stray positional argument should be rejected")
+	}
+	if _, err := parseFlags([]string{"-nosuch"}, io.Discard); err == nil {
+		t.Fatal("unknown flag should be rejected")
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	if err := run(options{exp: "fig99", scale: "quick"}, io.Discard); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if err := run(options{exp: "all", scale: "huge"}, io.Discard); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+	if err := run(options{exp: "all", scale: "quick", wlCSV: "nosuchwl"}, io.Discard); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+// TestRunTimelineEndToEnd drives the timeline experiment through run() at
+// smoke scale with one workload: the -events file must pass the schema
+// validator and the JSON report must round-trip.
+func TestRunTimelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	jsonOut := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	o := options{exp: "timeline", scale: "smoke", wlCSV: "btree",
+		events: events, jsonOut: jsonOut}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateJSONL(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("captured stream fails validation: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("captured stream is empty")
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report does not round-trip: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "timeline" {
+		t.Fatalf("unexpected experiments in report: %+v", rep.Experiments)
+	}
+	if !strings.Contains(out.String(), "== timeline NVOverlay/btree") {
+		t.Fatalf("timeline block missing from output:\n%s", out.String())
+	}
+}

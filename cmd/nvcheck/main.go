@@ -9,9 +9,12 @@
 //	nvcheck -seed 17 -cores 4 -steps 1400  # single trace, explicit parameters
 //	nvcheck -faults -fseeds 4              # fault soak: classes x seeds x crash points
 //	nvcheck -seed 3 -fault torn -crash 8   # single faulted trace (reproducer mode)
+//	nvcheck -seed 17 -events ev.jsonl      # single trace + its JSONL event stream
+//	nvcheck -validate-events ev.jsonl      # schema-check a captured stream
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -26,21 +29,26 @@ import (
 	"time"
 
 	"repro/internal/diffcheck"
+	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
 // options is the parsed command line.
 type options struct {
-	traces  int
-	seed    int64
-	every   int
-	jobs    int              // sweep workers; output is identical for every value
-	faults  bool             // fault-soak mode: sweep the fault grid
-	classes string           // comma-separated fault classes for the soak
-	fseeds  int              // seeds per fault class in the soak
-	single  bool             // an explicit per-trace flag switches to single-trace mode
-	p       diffcheck.Params // single-trace parameters
+	traces   int
+	seed     int64
+	every    int
+	jobs     int              // sweep workers; output is identical for every value
+	faults   bool             // fault-soak mode: sweep the fault grid
+	classes  string           // comma-separated fault classes for the soak
+	fseeds   int              // seeds per fault class in the soak
+	single   bool             // an explicit per-trace flag switches to single-trace mode
+	p        diffcheck.Params // single-trace parameters
+	events   string           // capture the single trace's JSONL event stream here
+	timeline bool             // print the single trace's per-epoch rollup timeline
+	vevents  string           // standalone mode: schema-check this JSONL file and exit
 
 	cpuProfile string // write a CPU profile here
 	memProfile string // write a heap profile here at exit
@@ -69,6 +77,9 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.faults, "faults", false, "fault soak: sweep fault classes x seeds x crash points")
 	fs.StringVar(&o.classes, "fclasses", "torn,flip,loss,nak,all", "fault classes for the -faults soak")
 	fs.IntVar(&o.fseeds, "fseeds", 4, "seeds per fault class in the -faults soak")
+	fs.StringVar(&o.events, "events", "", "write the single trace's JSONL event stream to this file (implies single-trace mode)")
+	fs.BoolVar(&o.timeline, "timeline", false, "print the single trace's per-epoch rollup timeline (implies single-trace mode)")
+	fs.StringVar(&o.vevents, "validate-events", "", "schema-check a captured JSONL event stream and exit")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file (taken at exit)")
 	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
@@ -101,8 +112,14 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 			o.single = true
 		}
 	})
+	if o.events != "" || o.timeline {
+		o.single = true
+	}
 	if o.faults && o.single {
 		return options{}, fmt.Errorf("nvcheck: -faults soak and single-trace flags are mutually exclusive")
+	}
+	if o.vevents != "" && (o.faults || o.single) {
+		return options{}, fmt.Errorf("nvcheck: -validate-events is a standalone mode")
 	}
 	o.p.Seed = o.seed
 	o.p.Walker = !*nowalker
@@ -198,22 +215,65 @@ func runFaults(ctx context.Context, o options, w io.Writer) error {
 // tally first.
 func run(ctx context.Context, o options, w io.Writer) error {
 	start := time.Now()
+	if o.vevents != "" {
+		return validateEvents(o.vevents, w)
+	}
 	if o.faults {
 		return runFaults(ctx, o, w)
 	}
 	if o.single {
+		// The bus only exists when -events or -timeline asked for it; nil
+		// keeps the replay on the unobserved fast path.
+		var bus *obs.Bus
+		var agg *obs.Aggregator
+		var evbuf bytes.Buffer
+		if o.events != "" || o.timeline {
+			bus = obs.NewBus(0)
+			if o.timeline {
+				agg = obs.NewAggregator()
+				bus.Attach(agg)
+			}
+			if o.events != "" {
+				bus.Attach(obs.NewJSONLSink(&evbuf, ""))
+			}
+		}
+		report := func() error {
+			if o.timeline {
+				cell := experiments.TimelineCell{Scheme: "NVOverlay", Workload: "diffcheck",
+					Emitted: bus.Emitted(), Rolls: agg.Timeline(),
+					BankDepth: agg.BankDepth, WalkSpan: agg.WalkSpan}
+				experiments.PrintTimeline(w, []experiments.TimelineCell{cell})
+			}
+			if o.events == "" {
+				return nil
+			}
+			if err := os.WriteFile(o.events, evbuf.Bytes(), 0o644); err != nil {
+				return fmt.Errorf("writing event stream: %w", err)
+			}
+			fmt.Fprintf(w, "events: %d written to %s\n", bus.Emitted(), o.events)
+			return nil
+		}
 		if o.p.Fault != "" {
-			res, d := diffcheck.RunFaultedJobs(o.p, o.jobs)
+			var res diffcheck.FaultResult
+			var d *diffcheck.Divergence
+			if bus != nil {
+				res, d = diffcheck.RunFaultedObserved(o.p, bus)
+			} else {
+				res, d = diffcheck.RunFaultedJobs(o.p, o.jobs)
+			}
 			if d != nil {
 				fmt.Fprintln(w, d.Error())
 				return fmt.Errorf("1 divergence")
 			}
 			fmt.Fprintf(w, "faulted trace ok: %d cells (%d restored, %d walked back, %d refused), %d faults injected\n",
 				len(res.Points), res.Restored, res.WalkedBack, res.Refusals, res.Events)
+			if err := report(); err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "0 divergences in 1 trace (%v)\n", time.Since(start).Round(time.Millisecond))
 			return nil
 		}
-		res, d := diffcheck.Run(o.p)
+		res, d := diffcheck.RunObserved(o.p, bus)
 		if d != nil {
 			fmt.Fprintln(w, d.Error())
 			return fmt.Errorf("1 divergence")
@@ -221,6 +281,9 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		fmt.Fprintf(w, "trace ok: epochs=%d rec-epoch=%d boundary-verifies=%d crash-verifies=%d wrap-flushes=%d lines=%d baselines=%v\n",
 			res.MaxEpoch, res.RecEpoch, res.BoundaryVerifies, res.CrashVerifies,
 			res.WrapFlushes, res.Lines, res.Baselines)
+		if err := report(); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "0 divergences in 1 trace (%v)\n", time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -263,6 +326,23 @@ func run(ctx context.Context, o options, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "0 divergences in %d traces (%d boundary + %d crash verifies, %v)\n",
 		o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// validateEvents schema-checks a captured JSONL event stream: known kinds,
+// fixed field order, per-cell sequence numbers gapless from zero. A stream
+// that fails validation returns a non-nil error so main exits non-zero.
+func validateEvents(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := obs.ValidateJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "%s: %d events ok\n", path, n)
 	return nil
 }
 

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestSweepMode(t *testing.T) {
@@ -116,6 +121,79 @@ func TestInterruptFlushesPartialResults(t *testing.T) {
 	}
 }
 
+// TestEventsCapture drives -events end to end for both single-trace modes:
+// the captured stream must pass the schema validator, and -validate-events
+// must accept the file it just wrote.
+func TestEventsCapture(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.jsonl")
+	args := strings.Fields("-seed 7 -cores 4 -vdcores 2 -steps 600 -lines 48 -share 40 -write 50 -epoch 10 -pattern uniform -omcs 2 -crash 2")
+	o, err := parseFlags(append(args, "-events", plain), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.single {
+		t.Fatal("-events did not trigger single-trace mode")
+	}
+	var out strings.Builder
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("observed trace failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "events: ") {
+		t.Fatalf("events line missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := obs.ValidateJSONL(bytes.NewReader(data)); err != nil || n == 0 {
+		t.Fatalf("captured stream invalid (%d lines): %v", n, err)
+	}
+
+	faulted := filepath.Join(dir, "faulted.jsonl")
+	fargs := strings.Fields("-seed 3 -cores 4 -vdcores 2 -steps 400 -lines 48 -share 30 -write 60 -epoch 12 -pattern uniform -omcs 2 -crash 3 -fault torn")
+	o, err = parseFlags(append(fargs, "-events", faulted), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("observed faulted trace failed: %v\n%s", err, out.String())
+	}
+	fdata, err := os.ReadFile(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fdata, []byte(`"kind":"fault"`)) ||
+		!bytes.Contains(fdata, []byte(`"kind":"salvage"`)) {
+		t.Fatal("faulted stream carries no fault/salvage events")
+	}
+
+	// -validate-events accepts what -events wrote and rejects garbage.
+	o, err = parseFlags([]string{"-validate-events", faulted}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("-validate-events rejected a captured stream: %v", err)
+	}
+	if !strings.Contains(out.String(), "events ok") {
+		t.Fatalf("validation summary missing:\n%s", out.String())
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"seq\":1,\"cycle\":0,\"kind\":\"fault\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err = parseFlags([]string{"-validate-events", bad}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o, io.Discard); err == nil {
+		t.Fatal("-validate-events accepted a malformed stream")
+	}
+}
+
 func TestParseFlagErrors(t *testing.T) {
 	if _, err := parseFlags([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("unknown flag accepted")
@@ -138,5 +216,11 @@ func TestParseFlagErrors(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-faults", "-cores", "4"}, io.Discard); err == nil {
 		t.Fatal("-faults combined with single-trace flags accepted")
+	}
+	if _, err := parseFlags([]string{"-faults", "-events", "x.jsonl"}, io.Discard); err == nil {
+		t.Fatal("-faults combined with -events accepted")
+	}
+	if _, err := parseFlags([]string{"-validate-events", "x.jsonl", "-cores", "4"}, io.Discard); err == nil {
+		t.Fatal("-validate-events combined with trace flags accepted")
 	}
 }

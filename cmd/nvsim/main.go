@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -31,6 +33,8 @@ type options struct {
 	buffer   bool
 	seed     int64
 	stats    bool
+	events   string
+	timeline bool
 }
 
 // parseFlags decodes the command line without touching the process-global
@@ -48,6 +52,8 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.buffer, "buffer", false, "enable the OMC buffer (NVOverlay)")
 	fs.Int64Var(&o.seed, "seed", 42, "workload PRNG seed")
 	fs.BoolVar(&o.stats, "stats", false, "dump all counters")
+	fs.StringVar(&o.events, "events", "", "write the run's JSONL event stream to this file")
+	fs.BoolVar(&o.timeline, "timeline", false, "print the per-epoch rollup timeline")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -66,6 +72,19 @@ func run(o options, w io.Writer) error {
 	if o.accesses > 0 {
 		sc.MaxAccesses = o.accesses
 	}
+	// The observability bus only exists when a consumer asked for it, so
+	// unobserved runs keep the nil-bus fast path.
+	var bus *obs.Bus
+	var agg *obs.Aggregator
+	var evbuf bytes.Buffer
+	if o.events != "" || o.timeline {
+		bus = obs.NewBus(0)
+		agg = obs.NewAggregator()
+		bus.Attach(agg)
+		if o.events != "" {
+			bus.Attach(obs.NewJSONLSink(&evbuf, ""))
+		}
+	}
 	res, err := experiments.Run(o.scheme, o.wl, sc, func(c *sim.Config) {
 		if o.epoch > 0 {
 			c.EpochSize = o.epoch
@@ -73,6 +92,7 @@ func run(o options, w io.Writer) error {
 		c.TagWalker = o.walker
 		c.OMCBuffer = o.buffer
 		c.Seed = o.seed
+		c.Obs = bus
 	})
 	if err != nil {
 		return err
@@ -96,6 +116,18 @@ func run(o options, w io.Writer) error {
 	if o.stats {
 		fmt.Fprintln(w, "\ncounters:")
 		fmt.Fprint(w, res.Scheme.Stats().Dump("  "))
+	}
+	if o.timeline {
+		cell := experiments.TimelineCell{Scheme: o.scheme, Workload: o.wl,
+			Emitted: bus.Emitted(), Rolls: agg.Timeline(),
+			BankDepth: agg.BankDepth, WalkSpan: agg.WalkSpan}
+		experiments.PrintTimeline(w, []experiments.TimelineCell{cell})
+	}
+	if o.events != "" {
+		if err := os.WriteFile(o.events, evbuf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("writing event stream: %w", err)
+		}
+		fmt.Fprintf(w, "events    %d written to %s\n", bus.Emitted(), o.events)
 	}
 	return nil
 }

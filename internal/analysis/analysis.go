@@ -240,7 +240,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // internal/parallel and internal/stats are in scope because the sweep
 // engine's merge paths carry the byte-identical-across-jobs guarantee: a
 // map range or wall-clock read there would leak scheduling order into
-// results that must depend only on cell indices.
+// results that must depend only on cell indices. internal/obs is in scope
+// for the same reason: its event streams and rollups ship the
+// byte-identical-across-jobs promise, so an order or clock leak there is a
+// determinism bug even though the simulation itself never reads the bus.
 var simVisible = prefixMatcher(
 	"repro/internal/sim",
 	"repro/internal/fault",
@@ -255,6 +258,7 @@ var simVisible = prefixMatcher(
 	"repro/internal/diffcheck",
 	"repro/internal/parallel",
 	"repro/internal/stats",
+	"repro/internal/obs",
 )
 
 // errcheckScope covers the NVM/DRAM device models and the recovery paths,

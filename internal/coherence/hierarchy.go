@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -84,6 +85,7 @@ type Hierarchy struct {
 	dram *mem.DRAM
 	cb   Callbacks
 	stat *stats.Set
+	bus  *obs.Bus // nil when the run is unobserved
 }
 
 // New builds the hierarchy from the machine configuration.
@@ -97,6 +99,7 @@ func New(cfg *sim.Config, dram *mem.DRAM, cb Callbacks) *Hierarchy {
 		dram: dram,
 		cb:   cb,
 		stat: stats.NewSet("coherence"),
+		bus:  cfg.Obs,
 	}
 	for i := range h.l1 {
 		h.l1[i] = cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, cfg.LineSize)
@@ -404,8 +407,16 @@ func (h *Hierarchy) invalidateVD(vd int, addr uint64, reason Reason) {
 		if h.cb.OnL2WriteBack != nil {
 			h.cb.OnL2WriteBack(vd, wb, reason)
 		}
+		h.noteWriteBack(vd, wb, reason)
 		h.stat.Inc("coherence_writebacks")
 	}
+}
+
+// noteWriteBack reports a dirty line leaving a VD on the observability bus.
+// The hierarchy itself is clockless (schemes keep their own time), so these
+// events carry cycle 0; the bus sequence still preserves their order.
+func (h *Hierarchy) noteWriteBack(vd int, ln cache.Line, reason Reason) {
+	h.bus.Emit(obs.KindVersionEvict, 0, vd, ln.OID, ln.Tag, uint64(reason), 0)
 }
 
 // downgradeVD demotes a VD's copies of addr to Shared in response to a
@@ -445,6 +456,7 @@ func (h *Hierarchy) downgradeVD(vd int, addr uint64) {
 		if h.cb.OnL2WriteBack != nil {
 			h.cb.OnL2WriteBack(vd, wb, ReasonCoherence)
 		}
+		h.noteWriteBack(vd, wb, ReasonCoherence)
 		h.stat.Inc("coherence_writebacks")
 	}
 }
@@ -502,6 +514,7 @@ func (h *Hierarchy) evictL2Victim(vd int, victim cache.Line, reason Reason) (lat
 		if h.cb.OnL2WriteBack != nil {
 			lat += h.cb.OnL2WriteBack(vd, victim, reason)
 		}
+		h.noteWriteBack(vd, victim, reason)
 		h.stat.Inc("l2_dirty_evictions")
 	}
 	return lat

@@ -61,7 +61,9 @@ func New(cfg *sim.Config, opts ...Option) *NVOverlay {
 			// the caller skipped validation.
 			panic(fmt.Sprintf("core: %v", err))
 		}
-		nvm.AttachFaults(fault.New(fc))
+		inj := fault.New(fc)
+		inj.AttachBus(cfg.Obs)
+		nvm.AttachFaults(inj)
 	}
 	dram := mem.NewDRAM(cfg)
 	var gopts []omc.Option

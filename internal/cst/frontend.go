@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/omc"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -103,6 +104,7 @@ type Frontend struct {
 
 	evicts [numReasons]uint64
 	stat   *stats.Set
+	bus    *obs.Bus // nil when the run is unobserved
 }
 
 // New builds the frontend. The tag walker is enabled per cfg.TagWalker; the
@@ -123,6 +125,7 @@ func New(cfg *sim.Config, dram *mem.DRAM, backend Backend) *Frontend {
 		walkReport: make([]uint64, cfg.VDs()),
 		walker:     cfg.TagWalker,
 		stat:       stats.NewSet("cst"),
+		bus:        cfg.Obs,
 	}
 	for i := range f.l1 {
 		f.l1[i] = cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, cfg.LineSize)
@@ -190,6 +193,7 @@ func (f *Frontend) sendVersion(ln cache.Line, reason Reason) {
 	}
 	f.evicts[reason]++
 	f.stat.Inc("evict_" + reason.String())
+	f.bus.Emit(obs.KindVersionEvict, f.now+f.stall, -1, ln.OID, ln.Tag, uint64(reason), 0)
 	// Bursts (walks, drains) issue at f.now advanced by the stalls already
 	// incurred in this access, so a full NVM queue delays a burst linearly
 	// (a blocking bounded queue), not quadratically.
@@ -282,6 +286,7 @@ func (f *Frontend) reportMinVer(vd int) {
 			min = q.OID
 		}
 	}
+	f.bus.Emit(obs.KindWalkEnd, f.now, vd, f.walkReport[vd], 0, min, 0)
 	f.walkReport[vd] = 0
 	f.backend.ReportMinVer(vd, min, f.now)
 }
@@ -463,6 +468,11 @@ func (f *Frontend) maybeAdvance(vd int, rv uint64) {
 // tag walker runs.
 func (f *Frontend) advanceTo(vd int, newEpoch uint64, boundary bool) {
 	old := f.cur[vd]
+	var atBoundary uint64
+	if boundary {
+		atBoundary = 1
+	}
+	f.bus.Emit(obs.KindEpochAdvance, f.now, vd, newEpoch, 0, old, atBoundary)
 	if f.wrap != nil && f.wrap.CrossesGroup(f.wrap.Wire(old), f.wrap.Wire(newEpoch)) {
 		// Group transition (§IV-D): ensure no line remains tagged with an
 		// epoch of the group being entered, then flip the sense bit. With
@@ -525,6 +535,7 @@ func (f *Frontend) tagWalk(vd int) {
 	})
 	f.stat.Inc("tag_walks")
 	f.walkReport[vd] = cur
+	f.bus.Emit(obs.KindWalkStart, f.now, vd, cur, 0, uint64(len(f.walkQ[vd])), 0)
 	if len(f.walkQ[vd]) == 0 {
 		// Nothing left to persist: report immediately.
 		f.reportMinVer(vd)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -62,16 +63,24 @@ func (d *Divergence) Error() string {
 // cross-checking every scheme against the golden model. It returns the
 // first divergence (with a minimized reproducer when possible) or nil.
 func Run(p Params) (Result, *Divergence) {
+	return RunObserved(p, nil)
+}
+
+// RunObserved is Run with the whole replay narrated on an observability
+// bus (nil behaves exactly like Run). The bus sees the NVOverlay replay
+// and every baseline in rotation order, so the stream is deterministic for
+// a given Params.
+func RunObserved(p Params, bus *obs.Bus) (Result, *Divergence) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	res := Result{Params: p}
-	if d := replayNVOverlay(p, &res, p.Steps, true); d != nil {
+	if d := replayNVOverlay(p, &res, p.Steps, true, bus); d != nil {
 		d.MinSteps = Minimize(p)
 		return res, d
 	}
 	for _, name := range baselineRotation(p) {
-		if d := replayBaseline(p, name, &res); d != nil {
+		if d := replayBaseline(p, name, &res, bus); d != nil {
 			return res, d
 		}
 		res.Baselines = append(res.Baselines, name)
@@ -92,8 +101,9 @@ func baselineRotation(p Params) []string {
 // each crash probe. With finish set it also drains, seals, and verifies
 // the final image, the replica path, and time-travel reads; without it the
 // run ends in a crash probe at step n (Minimize uses that mode).
-func replayNVOverlay(p Params, res *Result, n int, finish bool) *Divergence {
+func replayNVOverlay(p Params, res *Result, n int, finish bool, bus *obs.Bus) *Divergence {
 	cfg := p.Config()
+	cfg.Obs = bus
 	ops := p.Ops()[:n]
 	nv := core.New(&cfg, core.WithRetention(), core.WithOMCs(p.OMCs))
 	clocks := sim.NewClocks(cfg.Cores)
@@ -225,8 +235,9 @@ func newBaseline(name string, cfg *sim.Config) baselineScheme {
 // dirty lines must have been persisted and the DRAM working copy must
 // match the last store of every line with no dirty copy left; after drain
 // the DRAM image must equal the golden final image exactly.
-func replayBaseline(p Params, name string, res *Result) *Divergence {
+func replayBaseline(p Params, name string, res *Result, bus *obs.Bus) *Divergence {
 	cfg := p.Config()
+	cfg.Obs = bus
 	ops := p.Ops()
 	s := newBaseline(name, &cfg)
 	clocks := sim.NewClocks(cfg.Cores)
@@ -346,7 +357,7 @@ func Minimize(p Params) int {
 // runPrefix replays the first n steps and crash-verifies at the cut.
 func runPrefix(p Params, n int) *Divergence {
 	var scratch Result
-	return replayNVOverlay(p, &scratch, n, false)
+	return replayNVOverlay(p, &scratch, n, false, nil)
 }
 
 // diffImages renders a deterministic, sorted sample of the differences

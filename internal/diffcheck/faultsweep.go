@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/recovery"
 	"repro/internal/sim"
@@ -62,8 +63,23 @@ func RunFaulted(p Params) (FaultResult, *Divergence) {
 // aggregate — including the concatenated Schedule string and which
 // Divergence is reported first — is byte-identical for every jobs value.
 func RunFaultedJobs(p Params, jobs int) (FaultResult, *Divergence) {
+	return runFaulted(p, jobs, nil)
+}
+
+// RunFaultedObserved is RunFaulted narrated on an observability bus: every
+// crash-point cell's replay, injected faults and salvage decisions land on
+// the one stream. The cells run serially so the stream is in cut order
+// (and byte-identical across replays); the verdict matches RunFaulted.
+func RunFaultedObserved(p Params, bus *obs.Bus) (FaultResult, *Divergence) {
+	return runFaulted(p, 1, bus)
+}
+
+func runFaulted(p Params, jobs int, bus *obs.Bus) (FaultResult, *Divergence) {
 	if err := p.Validate(); err != nil {
 		panic(err)
+	}
+	if bus != nil {
+		jobs = 1 // cells share the bus; serialise so the stream stays canonical
 	}
 	cuts := faultCuts(p)
 	res := FaultResult{Params: p}
@@ -75,7 +91,7 @@ func RunFaultedJobs(p Params, jobs int) (FaultResult, *Divergence) {
 	}
 	var firstDiv *Divergence
 	parallel.ForEachOrdered(jobs, len(cuts), func(i int) cell {
-		pt, cellSched, d := RunFaultPoint(p, cuts[i], nil)
+		pt, cellSched, d := RunFaultPointObserved(p, cuts[i], nil, bus)
 		return cell{pt, cellSched, d}
 	}, func(i int, c cell) bool {
 		if c.d != nil {
@@ -109,7 +125,15 @@ func RunFaultedJobs(p Params, jobs int) (FaultResult, *Divergence) {
 // golden model at exactly its reported epoch, or refuses with a typed
 // error and a non-empty report — never a silently wrong image.
 func RunFaultPoint(p Params, cut int, mutate func(*mem.Image)) (FaultPoint, string, *Divergence) {
+	return RunFaultPointObserved(p, cut, mutate, nil)
+}
+
+// RunFaultPointObserved is RunFaultPoint narrated on an observability bus
+// (nil behaves exactly like RunFaultPoint): the replay's emissions, the
+// injector's faults and the salvage decisions all land on the one stream.
+func RunFaultPointObserved(p Params, cut int, mutate func(*mem.Image), bus *obs.Bus) (FaultPoint, string, *Divergence) {
 	cfg := p.Config()
+	cfg.Obs = bus
 	ops := p.Ops()[:cut]
 	nv := core.New(&cfg, core.WithRetention(), core.WithOMCs(p.OMCs))
 	clocks := sim.NewClocks(cfg.Cores)
@@ -142,7 +166,7 @@ func RunFaultPoint(p Params, cut int, mutate func(*mem.Image)) (FaultPoint, stri
 		pt.Events = inj.Total()
 		sched = inj.Schedule()
 	}
-	restored, rep, err := recovery.Salvage(img)
+	restored, rep, err := recovery.SalvageObserved(img, bus)
 	if err != nil {
 		if !errors.Is(err, recovery.ErrTornEpoch) &&
 			!errors.Is(err, recovery.ErrChecksum) &&

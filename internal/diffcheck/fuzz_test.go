@@ -1,10 +1,12 @@
 package diffcheck
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // clampParams maps arbitrary fuzz inputs onto a valid Params value. Every
@@ -45,7 +47,10 @@ func clampParams(seed int64, cores, vdcores, share, write, epoch, pattern, flags
 
 // FuzzDifferentialTrace feeds fuzzer-chosen trace parameters through the
 // full differential harness: any divergence between the snapshot stack and
-// the golden model fails the fuzz run with a deterministic reproducer.
+// the golden model fails the fuzz run with a deterministic reproducer. Each
+// input also replays with an observability aggregator attached — the bus is
+// observation-only, so the Result figures must match the unobserved run
+// exactly on every machine shape the fuzzer invents.
 func FuzzDifferentialTrace(f *testing.F) {
 	f.Add(int64(1), uint8(2), uint8(1), uint8(50), uint8(25), uint8(13), uint8(0), uint8(0), uint16(800))
 	f.Add(int64(2), uint8(3), uint8(1), uint8(60), uint8(25), uint8(9), uint8(1), uint8(4), uint16(1000))
@@ -57,8 +62,22 @@ func FuzzDifferentialTrace(f *testing.F) {
 		if err := p.Validate(); err != nil {
 			t.Fatalf("clamp produced invalid params: %v (%+v)", err, p)
 		}
-		if _, d := Run(p); d != nil {
+		res, d := Run(p)
+		if d != nil {
 			t.Fatal(d.Error())
+		}
+		bus := obs.NewBus(0)
+		agg := obs.NewAggregator()
+		bus.Attach(agg)
+		obsRes, d := RunObserved(p, bus)
+		if d != nil {
+			t.Fatalf("observed replay diverged: %s", d.Error())
+		}
+		if !reflect.DeepEqual(res, obsRes) {
+			t.Fatalf("attaching the observability bus changed the figures:\nunobserved %+v\nobserved   %+v", res, obsRes)
+		}
+		if bus.Emitted() == 0 || len(agg.Timeline()) == 0 {
+			t.Fatalf("observed replay emitted no events (emitted=%d)", bus.Emitted())
 		}
 	})
 }

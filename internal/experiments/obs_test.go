@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// obsScale is a cheap fixed workload grid for determinism checks.
+func obsScale(jobs int) Scale {
+	sc := Smoke
+	sc.MaxAccesses = 40_000
+	sc.EpochSize = 800
+	sc.Jobs = jobs
+	return sc
+}
+
+var obsWorkloads = []string{"btree", "hashtable", "kmeans"}
+
+// TestTimelineDeterministicAcrossJobs is the tentpole's acceptance bar: the
+// concatenated JSONL event stream and the per-epoch timelines must be
+// byte-identical whether the cells ran serially or at full parallelism.
+// Run under -race this also proves per-cell bus isolation.
+func TestTimelineDeterministicAcrossJobs(t *testing.T) {
+	serial, err := Timeline(obsScale(1), obsWorkloads, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Timeline(obsScale(runtime.GOMAXPROCS(0)), obsWorkloads, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ConcatEvents(serial), ConcatEvents(par)) {
+		t.Fatal("event streams differ between -j 1 and -j max")
+	}
+	if !reflect.DeepEqual(cellsSansEvents(serial), cellsSansEvents(par)) {
+		t.Fatal("timelines differ between -j 1 and -j max")
+	}
+}
+
+// TestTimelineDeterministicSeedReplay replays the same seeded grid twice and
+// requires byte-identical streams.
+func TestTimelineDeterministicSeedReplay(t *testing.T) {
+	sc := obsScale(2)
+	sc.Seed = 1234
+	a, err := Timeline(sc, obsWorkloads, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Timeline(sc, obsWorkloads, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ConcatEvents(a), ConcatEvents(b)) {
+		t.Fatal("event streams differ between identical seeded replays")
+	}
+}
+
+// TestTimelineStreamValidates feeds the multi-cell stream back through the
+// schema validator and sanity-checks the rollups carry real signal.
+func TestTimelineStreamValidates(t *testing.T) {
+	cells, err := Timeline(obsScale(0), obsWorkloads, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := ConcatEvents(cells)
+	n, err := obs.ValidateJSONL(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("captured stream fails validation: %v", err)
+	}
+	var emitted uint64
+	for i := range cells {
+		emitted += cells[i].Emitted
+		if cells[i].Emitted == 0 {
+			t.Fatalf("cell %s emitted no events", cells[i].CellName())
+		}
+		if len(cells[i].Rolls) == 0 {
+			t.Fatalf("cell %s has an empty timeline", cells[i].CellName())
+		}
+		var dirty, nvm int64
+		for _, r := range cells[i].Rolls {
+			dirty += r.DirtyLines
+			nvm += r.NVMBytes
+		}
+		if dirty == 0 || nvm == 0 {
+			t.Fatalf("cell %s rollup carries no signal: dirty=%d nvm=%d",
+				cells[i].CellName(), dirty, nvm)
+		}
+		if cells[i].BankDepth.Count == 0 {
+			t.Fatalf("cell %s bank-depth histogram is empty", cells[i].CellName())
+		}
+	}
+	if uint64(n) != emitted {
+		t.Fatalf("stream has %d lines but cells emitted %d events", n, emitted)
+	}
+}
+
+// TestTimelineCaptureOffMatchesOn proves capture is observation-only: the
+// aggregated rollups are identical with and without the JSONL sink.
+func TestTimelineCaptureOffMatchesOn(t *testing.T) {
+	on, err := Timeline(obsScale(2), obsWorkloads, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Timeline(obsScale(2), obsWorkloads, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cellsSansEvents(on), cellsSansEvents(off)) {
+		t.Fatal("rollups differ between capture on and off")
+	}
+}
+
+// cellsSansEvents strips the raw streams so DeepEqual compares rollups.
+func cellsSansEvents(cells []TimelineCell) []TimelineCell {
+	out := make([]TimelineCell, len(cells))
+	copy(out, cells)
+	for i := range out {
+		out[i].Events = nil
+	}
+	return out
+}

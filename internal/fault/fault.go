@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -144,6 +145,7 @@ type Injector struct {
 	rng    *sim.RNG
 	events []Event
 	stat   map[Class]int64
+	bus    *obs.Bus // nil when the run is unobserved
 }
 
 // New builds an injector for the given configuration.
@@ -158,9 +160,18 @@ func New(cfg Config) *Injector {
 // Enabled reports whether the injector can fire at all.
 func (in *Injector) Enabled() bool { return in != nil && in.cfg.Enabled() }
 
+// AttachBus forwards every injected fault to the observability bus. The
+// injector has no clock, so fault events carry cycle 0.
+func (in *Injector) AttachBus(b *obs.Bus) {
+	if in != nil {
+		in.bus = b
+	}
+}
+
 func (in *Injector) record(c Class, bank int, addr, arg uint64) {
 	in.events = append(in.events, Event{Class: c, Bank: bank, Addr: addr, Arg: arg})
 	in.stat[c]++
+	in.bus.Emit(obs.KindFault, 0, bank, 0, addr, arg, uint64(c))
 }
 
 // NAK draws whether the given persist attempt is rejected by the device.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -78,6 +79,7 @@ type NVM struct {
 	pending  [][]pendingWrite
 	bankDone []uint64
 	inj      *fault.Injector
+	bus      *obs.Bus // nil when the run is unobserved
 }
 
 // pendingWrite is one word burst sitting in a bank's volatile queue.
@@ -99,6 +101,7 @@ func NewNVM(cfg *sim.Config) *NVM {
 		store:    make(map[uint64]uint64),
 		pending:  make([][]pendingWrite, cfg.NVMBanks),
 		bankDone: make([]uint64, cfg.NVMBanks),
+		bus:      cfg.Obs,
 	}
 }
 
@@ -130,6 +133,13 @@ func (n *NVM) bookLine(addr uint64, size int, now uint64) (stall uint64) {
 	}
 	n.lastLine[b] = line
 	n.bankBusy[b] += occ
+	if n.bus != nil {
+		var depth uint64
+		if n.bankBusy[b] > now {
+			depth = n.bankBusy[b] - now
+		}
+		n.bus.Emit(obs.KindNVMEnqueue, now, b, 0, addr, uint64(size), depth)
+	}
 	if n.bankBusy[b] > now+n.cfg.NVMMaxBacklog {
 		stall = n.bankBusy[b] - now - n.cfg.NVMMaxBacklog
 		n.stat.Add("stall_cycles", int64(stall))

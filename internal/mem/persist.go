@@ -1,6 +1,9 @@
 package mem
 
-import "repro/internal/fault"
+import (
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
 
 // AttachFaults installs a fault injector on the device. A nil injector (or
 // one built from the zero Config) leaves the device perfect; the content
@@ -73,14 +76,16 @@ func (n *NVM) enqueue(addr uint64, words []uint64, now uint64, booked bool) {
 	q := n.pending[b]
 	i := 0
 	for ; i < len(q) && q[i].done <= now; i++ {
-		n.commit(q[i])
+		n.commit(q[i], now)
 	}
 	q = append(q[i:], pendingWrite{addr: addr, words: words, done: done})
 	n.pending[b] = q
 }
 
-// commit applies a completed write to the persisted word array.
-func (n *NVM) commit(w pendingWrite) {
+// commit applies a completed write to the persisted word array. now is the
+// cycle the drain was observed at (the write's own completion may be older).
+func (n *NVM) commit(w pendingWrite, now uint64) {
+	n.bus.Emit(obs.KindNVMDrain, now, n.bankOf(w.addr), 0, w.addr, uint64(len(w.words)), 0)
 	for i, v := range w.words {
 		n.store[w.addr+uint64(i*8)] = v
 	}
@@ -103,7 +108,7 @@ func (n *NVM) PowerCut(now uint64) *Image {
 		// Durable prefix: completed before the cut.
 		i := 0
 		for ; i < len(q) && q[i].done <= now; i++ {
-			n.commit(q[i])
+			n.commit(q[i], now)
 		}
 		volatileQ := q[i:]
 		if len(volatileQ) == 0 {
@@ -122,7 +127,7 @@ func (n *NVM) PowerCut(now uint64) *Image {
 					w.words = w.words[:keep]
 				}
 			}
-			n.commit(w)
+			n.commit(w, now)
 		}
 	}
 	if n.inj.Enabled() {

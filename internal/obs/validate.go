@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ValidateJSONL checks that every line of r conforms to the event schema
+// AppendJSONL writes: required fields with the right JSON types, a known
+// kind name, and per-cell sequence numbers that start at 0 and increase by
+// exactly 1. It returns the number of validated event lines; the error
+// pinpoints the first offending line. CI runs this over captured traces so
+// schema drift between the emitter and consumers cannot land silently.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lastSeq := make(map[string]uint64) // cell -> next expected seq
+	lines := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		if err := validateLine(line, lastSeq); err != nil {
+			return lines, fmt.Errorf("obs: line %d: %w", lines, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, fmt.Errorf("obs: reading stream: %w", err)
+	}
+	return lines, nil
+}
+
+// uintFields are the schema's required non-negative integer fields.
+var uintFields = []string{"seq", "cycle", "epoch", "addr", "arg", "aux"}
+
+func validateLine(line []byte, lastSeq map[string]uint64) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	vals := make(map[string]uint64, len(uintFields))
+	for _, f := range uintFields {
+		v, ok := m[f]
+		if !ok {
+			return fmt.Errorf("missing field %q", f)
+		}
+		num, ok := v.(json.Number)
+		if !ok {
+			return fmt.Errorf("field %q is not a number", f)
+		}
+		u, err := parseUint(num)
+		if err != nil {
+			return fmt.Errorf("field %q: %w", f, err)
+		}
+		vals[f] = u
+	}
+	actor, ok := m["actor"].(json.Number)
+	if !ok {
+		return fmt.Errorf("missing or non-numeric field %q", "actor")
+	}
+	if _, err := actor.Int64(); err != nil {
+		return fmt.Errorf("field %q: %w", "actor", err)
+	}
+	kind, ok := m["kind"].(string)
+	if !ok {
+		return fmt.Errorf("missing or non-string field %q", "kind")
+	}
+	if _, known := KindByName(kind); !known {
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	cell := ""
+	if c, present := m["cell"]; present {
+		if cell, ok = c.(string); !ok {
+			return fmt.Errorf("field %q is not a string", "cell")
+		}
+	}
+	if n, present := m["note"]; present {
+		if _, ok = n.(string); !ok {
+			return fmt.Errorf("field %q is not a string", "note")
+		}
+	}
+	// Sorted so the blamed field is deterministic when several are unknown.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch k {
+		case "seq", "cycle", "kind", "actor", "epoch", "addr", "arg", "aux", "note", "cell":
+		default:
+			return fmt.Errorf("unknown field %q", k)
+		}
+	}
+	want := lastSeq[cell]
+	if got := vals["seq"]; got != want {
+		return fmt.Errorf("cell %q: seq %d, want %d (sequence must be gapless from 0)", cell, got, want)
+	}
+	lastSeq[cell] = want + 1
+	return nil
+}
+
+func parseUint(n json.Number) (uint64, error) {
+	s := n.String()
+	if strings.ContainsAny(s, ".eE-") {
+		return 0, fmt.Errorf("%s is not a non-negative integer", s)
+	}
+	var u uint64
+	if err := json.Unmarshal([]byte(s), &u); err != nil {
+		return 0, fmt.Errorf("%s is not a uint64", s)
+	}
+	return u, nil
+}

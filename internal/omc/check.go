@@ -1,6 +1,9 @@
 package omc
 
-import "repro/internal/mem"
+import (
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
 
 // Durable-record layout. Beyond the pool/meta regions, each OMC owns two
 // append-only record logs keyed by its id:
@@ -142,6 +145,7 @@ func (o *OMC) writeCommitRecord(now uint64) {
 	}
 	words = append(words, RecordCheck(words))
 	o.now += o.nvm.Persist(mem.WMeta, CommitRecAddr(o.id, o.commitSeq), len(words)*8, words, now)
+	o.bus.Emit(obs.KindOMCCommit, now, o.id, o.recEpoch, 0, uint64(o.master.Entries()), uint64(o.commitSeq))
 	o.commitSeq++
 	o.stat.Inc("commit_records")
 }
@@ -157,6 +161,7 @@ func (o *OMC) writeSealRecord(e uint64, t *Table, now uint64) {
 	}
 	words = append(words, RecordCheck(words))
 	o.now += o.nvm.Persist(mem.WMeta, SealRecAddr(o.id, o.sealSeq), len(words)*8, words, now)
+	o.bus.Emit(obs.KindOMCSeal, now, o.id, e, 0, uint64(t.Entries()), uint64(o.sealSeq))
 	o.sealSeq++
 	o.stat.Inc("seal_records")
 }

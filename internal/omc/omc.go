@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -47,6 +48,7 @@ type OMC struct {
 	now uint64
 
 	stat *stats.Set
+	bus  *obs.Bus // nil when the run is unobserved
 }
 
 // Option configures an OMC.
@@ -78,6 +80,7 @@ func New(cfg *sim.Config, nvm *mem.NVM, id int, opts ...Option) *OMC {
 		minVer:      make([]uint64, cfg.VDs()),
 		vpageCounts: make(map[uint64]map[uint64]int),
 		stat:        stats.NewSet("omc"),
+		bus:         cfg.Obs,
 	}
 	o.metaNext = MetaBase + uint64(id)*omcRegion
 	o.commitSeq = 1 // slot 0 is the genesis record
@@ -245,6 +248,7 @@ func (o *OMC) advanceRecEpoch(now uint64) {
 		o.mergeEpoch(e, now)
 	}
 	o.recEpoch = er
+	o.bus.Emit(obs.KindRecEpoch, now, o.id, er, 0, 0, 0)
 	// Persist the new rec-epoch pointer atomically (8-byte write), then
 	// append the commit record that makes the advance provable: it pins
 	// the epoch plus the Master Table's entry count and digest.

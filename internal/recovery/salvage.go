@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/omc"
 )
 
@@ -529,6 +530,38 @@ func Salvage(img *mem.Image) (map[uint64]uint64, *SalvageReport, error) {
 	}
 	rep.LinesRestored = len(out)
 	return out, rep, nil
+}
+
+// SalvageObserved runs Salvage and additionally narrates its decisions on
+// the observability bus as KindSalvage events, in report order: one per
+// damage finding (Note = the damage kind), one per partition verdict (Note
+// = "restored", Arg = 1 when the master fast path applied), and one final
+// group decision (Note = "refused", "walked-back" or "restored"). Recovery
+// runs outside simulated time, so salvage events carry cycle 0.
+func SalvageObserved(img *mem.Image, bus *obs.Bus) (map[uint64]uint64, *SalvageReport, error) {
+	out, rep, err := Salvage(img)
+	if bus != nil && rep != nil {
+		for _, d := range rep.Damage {
+			bus.EmitNote(obs.KindSalvage, 0, d.OMC, d.Epoch, d.Addr, 0, 0, d.Kind)
+		}
+		for _, p := range rep.Partitions {
+			var master uint64
+			if p.UsedMaster {
+				master = 1
+			}
+			bus.EmitNote(obs.KindSalvage, 0, p.ID, p.RestoredEpoch, 0, master, 0, "restored")
+		}
+		decision := "restored"
+		switch {
+		case rep.Refused:
+			decision = "refused"
+		case rep.WalkedBack:
+			decision = "walked-back"
+		}
+		bus.EmitNote(obs.KindSalvage, 0, -1, rep.RestoredEpoch, 0,
+			uint64(rep.LinesRestored), rep.ClaimedEpoch, decision)
+	}
+	return out, rep, err
 }
 
 // classifyRefusal picks the typed error matching the observed damage:

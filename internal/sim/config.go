@@ -3,7 +3,11 @@
 // per-thread clock bookkeeping used for smallest-clock-first interleaving.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Config describes the simulated machine and run parameters. The defaults
 // returned by DefaultConfig mirror Table II of the NVOverlay paper.
@@ -65,6 +69,12 @@ type Config struct {
 
 	// TimeSeriesBuckets controls Fig-17-style bandwidth bucketing.
 	TimeSeriesBuckets int
+
+	// Obs, when non-nil, receives the run's structured event stream
+	// (internal/obs sits below sim in the dependency tower, so pointing at
+	// it from here creates no cycle). Components cache the bus at
+	// construction; a nil bus costs one pointer check per emission site.
+	Obs *obs.Bus
 }
 
 // DefaultConfig returns the paper's Table II machine. EpochSize here is

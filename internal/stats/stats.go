@@ -115,7 +115,31 @@ func (d *Distribution) Mean() float64 {
 	return float64(d.Sum) / float64(d.Count)
 }
 
-// String renders the distribution compactly.
+// Merge folds other's samples into d. The empty side contributes nothing:
+// a naive field-wise merge would clobber the populated side's Min/Max with
+// the empty side's zero values (or keep a stale zero Min when d itself is
+// empty), which is exactly how per-cell distributions used to vanish from
+// parallel-sweep rollups.
+func (d *Distribution) Merge(other *Distribution) {
+	if other.Count == 0 {
+		return
+	}
+	if d.Count == 0 || other.Min < d.Min {
+		d.Min = other.Min
+	}
+	if d.Count == 0 || other.Max > d.Max {
+		d.Max = other.Max
+	}
+	d.Count += other.Count
+	d.Sum += other.Sum
+}
+
+// String renders the distribution compactly. An empty distribution says so
+// explicitly: "min=0 max=0 mean=0.00" is indistinguishable from a stream
+// of genuine zero samples.
 func (d *Distribution) String() string {
+	if d.Count == 0 {
+		return "n=0 (empty)"
+	}
 	return fmt.Sprintf("n=%d min=%d max=%d mean=%.2f", d.Count, d.Min, d.Max, d.Mean())
 }

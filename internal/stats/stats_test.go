@@ -181,3 +181,64 @@ func TestTimeSeriesZeroBuckets(t *testing.T) {
 		t.Fatalf("total = %d", ts.Total())
 	}
 }
+
+// Table-driven Merge coverage: the empty side must never contribute its
+// zero-valued Min/Max to the merged distribution.
+func TestDistributionMerge(t *testing.T) {
+	obs := func(vs ...int64) Distribution {
+		var d Distribution
+		for _, v := range vs {
+			d.Observe(v)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		a, b Distribution
+		want Distribution
+	}{
+		{"empty-empty", Distribution{}, Distribution{}, Distribution{}},
+		{"empty-nonempty", Distribution{}, obs(5, 1, 9), obs(5, 1, 9)},
+		{"nonempty-empty", obs(5, 1, 9), Distribution{}, obs(5, 1, 9)},
+		{"both-nonempty", obs(5, 9), obs(2, 30), obs(5, 9, 2, 30)},
+		{"negatives", obs(-4, -2), obs(-10), obs(-4, -2, -10)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.a
+			got.Merge(&tc.b)
+			if got != tc.want {
+				t.Fatalf("merge = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Merging N per-cell distributions in cell order must equal observing the
+// concatenated stream, regardless of which cells are empty.
+func TestDistributionMergeEqualsSerial(t *testing.T) {
+	streams := [][]int64{{7, 3}, {}, {42}, {}, {1, 100, 5}}
+	var serial, merged Distribution
+	for _, s := range streams {
+		var cell Distribution
+		for _, v := range s {
+			serial.Observe(v)
+			cell.Observe(v)
+		}
+		merged.Merge(&cell)
+	}
+	if merged != serial {
+		t.Fatalf("merged = %+v, serial = %+v", merged, serial)
+	}
+}
+
+func TestDistributionStringEmpty(t *testing.T) {
+	var d Distribution
+	if got := d.String(); got != "n=0 (empty)" {
+		t.Fatalf("empty String() = %q, want %q", got, "n=0 (empty)")
+	}
+	d.Observe(0)
+	if got := d.String(); got != "n=1 min=0 max=0 mean=0.00" {
+		t.Fatalf("zero-sample String() = %q", got)
+	}
+}
