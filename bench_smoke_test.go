@@ -48,6 +48,7 @@ func TestBenchmarkSmoke(t *testing.T) {
 		{"AblateWalker", BenchmarkAblateWalker},
 		{"AblateSuperBlock", BenchmarkAblateSuperBlock},
 		{"Schemes", BenchmarkSchemes},
+		{"FileSeal", BenchmarkFileSeal},
 		{"WrapAround", BenchmarkWrapAround},
 	}
 	for _, bench := range benches {

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/experiments"
@@ -199,6 +200,26 @@ func BenchmarkSchemes(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFileSeal measures the file-backed durable plane end to end:
+// per iteration it writes a fresh store (apply bursts, seal epochs,
+// checkpoint, manifest renames) and cold-reopens it the way a restarted
+// process would, with the reopened image verified against the writer's
+// RAM mirror. ns/op is therefore the full write-seal-reload round trip.
+func BenchmarkFileSeal(b *testing.B) {
+	const epochs, perEpoch = 16, 512
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(b.TempDir(), "store")
+		st, err := experiments.FilePlaneProfile(dir, epochs, perEpoch, 4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(st.BytesOnDisk), "store-bytes")
+			b.ReportMetric(float64(st.BytesOnDisk)/float64(st.DeltaRecords), "bytes/burst")
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mem"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -107,7 +109,7 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs := flag.NewFlagSet("nvbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	o := options{}
-	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, fileplane, all")
 	fs.StringVar(&o.scale, "scale", "quick", "run scale: smoke, quick, full")
 	fs.StringVar(&o.wlCSV, "workloads", "", "comma-separated workload subset (default: all twelve)")
 	fs.Int64Var(&o.seed, "seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
@@ -357,19 +359,48 @@ func run(o options, out io.Writer) error {
 			}
 			return cells, nil
 		}},
+		{"fileplane", func() (any, error) {
+			dir, err := os.MkdirTemp("", "nvbench-fileplane-*")
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				if rerr := os.RemoveAll(dir); rerr != nil {
+					fmt.Fprintln(os.Stderr, "nvbench: fileplane cleanup:", rerr)
+				}
+			}()
+			seed := o.seed
+			if seed == 0 {
+				seed = 42
+			}
+			epochs, perEpoch := 24, 1024
+			if sc.Name == "smoke" {
+				epochs, perEpoch = 8, 256
+			}
+			st, err := experiments.FilePlaneProfile(
+				filepath.Join(dir, "store"), epochs, perEpoch, mem.DefaultCheckpointEvery, seed)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFilePlane(out, st)
+			return st, nil
+		}},
 	}
 
-	// The timeline experiment only runs when asked for — by name, by
-	// -timeline, or implicitly by -events — so "all" keeps regenerating
-	// exactly the paper's figures.
+	// The timeline and fileplane experiments only run when asked for — by
+	// name (or, for timeline, by -timeline / implicitly by -events) — so
+	// "all" keeps regenerating exactly the paper's figures.
 	wantTimeline := o.timeline || o.events != ""
 	all := o.exp == "all"
 	matched := false
 	for _, spec := range specs {
 		sel := spec.name == o.exp
-		if spec.name == "timeline" {
+		switch spec.name {
+		case "timeline":
 			sel = sel || wantTimeline
-		} else {
+		case "fileplane":
+			// explicit selection only
+		default:
 			sel = sel || all
 		}
 		if !sel {

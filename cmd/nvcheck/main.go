@@ -11,6 +11,14 @@
 //	nvcheck -seed 3 -fault torn -crash 8   # single faulted trace (reproducer mode)
 //	nvcheck -seed 17 -events ev.jsonl      # single trace + its JSONL event stream
 //	nvcheck -validate-events ev.jsonl      # schema-check a captured stream
+//	nvcheck -crashsoak -loops 30           # kill -9 crash-restart soak on a file store
+//
+// The crash soak is the one mode that leaves the process: each loop
+// re-execs this binary as a child writer streaming epochs into a
+// file-backed durable store, SIGKILLs it at a seeded milestone, then
+// cold-salvages the directory in the parent and diffs the restored image
+// against the golden model. Failures archive their salvage reports under
+// -reports for CI artifact upload.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -33,6 +42,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/soak"
 )
 
 // options is the parsed command line.
@@ -49,6 +60,11 @@ type options struct {
 	events   string           // capture the single trace's JSONL event stream here
 	timeline bool             // print the single trace's per-epoch rollup timeline
 	vevents  string           // standalone mode: schema-check this JSONL file and exit
+
+	crashsoak bool   // kill -9 crash-restart soak over a file-backed store
+	loops     int    // crash-soak iterations
+	store     string // crash-soak store base directory ("": a temp dir)
+	reports   string // where failing salvage reports are archived
 
 	cpuProfile string // write a CPU profile here
 	memProfile string // write a heap profile here at exit
@@ -80,6 +96,10 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.StringVar(&o.events, "events", "", "write the single trace's JSONL event stream to this file (implies single-trace mode)")
 	fs.BoolVar(&o.timeline, "timeline", false, "print the single trace's per-epoch rollup timeline (implies single-trace mode)")
 	fs.StringVar(&o.vevents, "validate-events", "", "schema-check a captured JSONL event stream and exit")
+	fs.BoolVar(&o.crashsoak, "crashsoak", false, "crash-restart soak: re-exec child writers onto a file store, kill -9, salvage, diff")
+	fs.IntVar(&o.loops, "loops", 30, "crash-soak iterations")
+	fs.StringVar(&o.store, "store", "", "crash-soak store base directory (default: a temp dir, removed afterwards)")
+	fs.StringVar(&o.reports, "reports", "crash-reports", "directory for salvage reports of failing crash-soak loops")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file (taken at exit)")
 	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
@@ -120,6 +140,12 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	}
 	if o.vevents != "" && (o.faults || o.single) {
 		return options{}, fmt.Errorf("nvcheck: -validate-events is a standalone mode")
+	}
+	if o.crashsoak && (o.faults || o.single || o.vevents != "") {
+		return options{}, fmt.Errorf("nvcheck: -crashsoak is a standalone mode")
+	}
+	if o.crashsoak && o.loops <= 0 {
+		return options{}, fmt.Errorf("nvcheck: -loops must be positive, got %d", o.loops)
 	}
 	o.p.Seed = o.seed
 	o.p.Walker = !*nowalker
@@ -209,6 +235,103 @@ func runFaults(ctx context.Context, o options, w io.Writer) error {
 	return nil
 }
 
+// archiveReport writes a failing loop's salvage report under the reports
+// directory so CI can upload it as an artifact.
+func archiveReport(dir string, loop int, rep interface{ JSON() ([]byte, error) }) {
+	if rep == nil {
+		return
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "nvcheck: reports dir:", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("salvage-loop-%03d.json", loop))
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "nvcheck: writing report:", err)
+	}
+}
+
+// runCrashSoak loops start child -> write -> kill -9 -> cold salvage ->
+// diff against golden. One control run (never killed) both validates the
+// happy path and measures the milestone count; each loop then kills at a
+// seeded milestone index, so a given -seed replays the same kill schedule
+// exactly. Any contract violation archives its salvage report and fails
+// the run.
+func runCrashSoak(ctx context.Context, o options, w io.Writer) error {
+	start := time.Now()
+	bin, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("nvcheck: locating binary: %w", err)
+	}
+	base := o.store
+	if base == "" {
+		base, err = os.MkdirTemp("", "nvsoak-*")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := os.RemoveAll(base); err != nil {
+				fmt.Fprintln(os.Stderr, "nvcheck: cleanup:", err)
+			}
+		}()
+	} else if err := os.MkdirAll(base, 0o755); err != nil {
+		return err
+	}
+
+	// Control run: full completion, salvage must restore the final epoch.
+	p := soak.DefaultParams(filepath.Join(base, "control"), o.seed)
+	res, err := soak.Run(bin, nil, p, 1<<30)
+	if err != nil {
+		return fmt.Errorf("nvcheck: control run: %w", err)
+	}
+	rep, err := soak.CheckDir(p.Dir, res.DurableEpoch, soak.Golden(p))
+	if err != nil {
+		archiveReport(o.reports, -1, rep)
+		return fmt.Errorf("nvcheck: control run salvage: %w", err)
+	}
+	total := res.Milestones
+	fmt.Fprintf(w, "control run: %d milestones, restored epoch %d\n", total, rep.RestoredEpoch)
+
+	rng := sim.NewRNG(o.seed)
+	restored, refused := 0, 0
+	for i := 0; i < o.loops; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("nvcheck: interrupted after %d loops", i)
+		}
+		killAt := int(rng.Uint64n(uint64(total)))
+		dir := filepath.Join(base, fmt.Sprintf("store-%03d", i))
+		lp := soak.DefaultParams(dir, o.seed+int64(i)+1)
+		res, err := soak.Run(bin, nil, lp, killAt)
+		if err != nil {
+			return fmt.Errorf("nvcheck: loop %d: %w", i, err)
+		}
+		rep, err := soak.CheckDir(dir, res.DurableEpoch, soak.Golden(lp))
+		if err != nil {
+			archiveReport(o.reports, i, rep)
+			return fmt.Errorf("nvcheck: loop %d (killed at %d: %s, epoch %d; durable %d): %w",
+				i, res.KillIndex, res.KillPoint, res.KillEpoch, res.DurableEpoch, err)
+		}
+		if rep.Refused {
+			refused++
+		} else {
+			restored++
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			return fmt.Errorf("nvcheck: loop %d cleanup: %w", i, err)
+		}
+		if o.every > 0 && (i+1)%o.every == 0 {
+			fmt.Fprintf(w, "%d/%d loops ok (%v)\n", i+1, o.loops, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(w, "crash soak: %d kill-9 loops ok (%d restored, %d justified refusals, %d milestones/run, %v)\n",
+		o.loops, restored, refused, total, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 // run executes the requested sweep or single trace, reporting to w. A
 // divergence is printed in full (with its reproducer) and returned as an
 // error so main can exit non-zero; an interrupted soak flushes its partial
@@ -217,6 +340,9 @@ func run(ctx context.Context, o options, w io.Writer) error {
 	start := time.Now()
 	if o.vevents != "" {
 		return validateEvents(o.vevents, w)
+	}
+	if o.crashsoak {
+		return runCrashSoak(ctx, o, w)
 	}
 	if o.faults {
 		return runFaults(ctx, o, w)
@@ -337,7 +463,7 @@ func validateEvents(path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read side: validation already decided
 	n, err := obs.ValidateJSONL(f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
@@ -354,22 +480,30 @@ func withProfiles(o options, f func() error) error {
 		if err != nil {
 			return err
 		}
-		defer pf.Close()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := pf.Close(); err != nil { // a lost close is a truncated profile
+				fmt.Fprintln(os.Stderr, "nvcheck: cpuprofile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(pf); err != nil {
 			return err
 		}
-		defer pprof.StopCPUProfile()
 	}
 	if o.traceOut != "" {
 		tf, err := os.Create(o.traceOut)
 		if err != nil {
 			return err
 		}
-		defer tf.Close()
+		defer func() {
+			rtrace.Stop()
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nvcheck: trace:", err)
+			}
+		}()
 		if err := rtrace.Start(tf); err != nil {
 			return err
 		}
-		defer rtrace.Stop()
 	}
 	if o.memProfile != "" {
 		defer func() {
@@ -378,9 +512,11 @@ func withProfiles(o options, f func() error) error {
 				fmt.Fprintln(os.Stderr, "nvcheck: memprofile:", err)
 				return
 			}
-			defer mf.Close()
 			runtime.GC() // settle the heap so the profile shows retained allocations
 			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "nvcheck: memprofile:", err)
+			}
+			if err := mf.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "nvcheck: memprofile:", err)
 			}
 		}()
@@ -389,6 +525,12 @@ func withProfiles(o options, f func() error) error {
 }
 
 func main() {
+	if soak.IsChild() {
+		// Spawned by a -crashsoak parent: become the store writer. This
+		// happens before flag parsing so the child is immune to the
+		// parent's own command line.
+		os.Exit(soak.ChildMain())
+	}
 	o, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	nvrecover -workload btree -accesses 300000
+//
+// With -store it instead cold-opens a file-backed durable store directory
+// (written by a -store run of nvsim/nvcheck, possibly killed mid-write)
+// in this fresh process, salvages it, and prints the report:
+//
+//	nvrecover -store /path/to/store
 package main
 
 import (
@@ -32,6 +38,7 @@ type options struct {
 	epoch    int
 	seed     int64
 	archive  string
+	store    string
 }
 
 // parseFlags decodes the command line without touching the process-global
@@ -45,6 +52,7 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.epoch, "epoch", 4_000, "epoch size (stores)")
 	fs.Int64Var(&o.seed, "seed", 42, "workload PRNG seed")
 	fs.StringVar(&o.archive, "archive", "", "export the snapshot archive to this file")
+	fs.StringVar(&o.store, "store", "", "cold-salvage this file-backed store directory instead of running a workload")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -54,8 +62,36 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	return o, nil
 }
 
+// runStore is the cold-salvage path: open a file-backed store directory
+// written by another (possibly killed) process, replay manifest →
+// checkpoint → delta logs, run salvage-or-refuse over the image, and
+// print the machine-readable report. The exit error carries the typed
+// refusal when nothing could be proven.
+func runStore(o options, w io.Writer) error {
+	fmt.Fprintf(w, "cold-opening store %s...\n", o.store)
+	out, rep, err := recovery.SalvageDir(o.store)
+	if rep != nil {
+		if js, jerr := rep.JSON(); jerr == nil {
+			fmt.Fprintf(w, "%s\n", js)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("salvage refused: %w", err)
+	}
+	verdict := "restored"
+	if rep.WalkedBack {
+		verdict = "walked back and restored"
+	}
+	fmt.Fprintf(w, "%s epoch %d: %d lines (store manifest claimed epoch %d, %d file findings)\n",
+		verdict, rep.RestoredEpoch, len(out), rep.StoreSealedEpoch, len(rep.Damage))
+	return nil
+}
+
 // run executes the full usage-model walkthrough, writing the narrative to w.
 func run(o options, w io.Writer) error {
+	if o.store != "" {
+		return runStore(o, w)
+	}
 	cfg := sim.DefaultConfig()
 	cfg.EpochSize = o.epoch
 	cfg.Seed = o.seed

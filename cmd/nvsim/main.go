@@ -35,6 +35,7 @@ type options struct {
 	stats    bool
 	events   string
 	timeline bool
+	store    string
 }
 
 // parseFlags decodes the command line without touching the process-global
@@ -54,6 +55,7 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.BoolVar(&o.stats, "stats", false, "dump all counters")
 	fs.StringVar(&o.events, "events", "", "write the run's JSONL event stream to this file")
 	fs.BoolVar(&o.timeline, "timeline", false, "print the per-epoch rollup timeline")
+	fs.StringVar(&o.store, "store", "", "back the NVM content plane with a file store in this fresh directory (salvage later with nvrecover -store)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -93,9 +95,18 @@ func run(o options, w io.Writer) error {
 		c.OMCBuffer = o.buffer
 		c.Seed = o.seed
 		c.Obs = bus
+		c.StoreDir = o.store
 	})
 	if err != nil {
 		return err
+	}
+	if o.store != "" {
+		// Flush and close the durable store; a swallowed write error here
+		// would undermine every durability claim the directory makes.
+		if err := res.Scheme.NVM().ClosePlane(); err != nil {
+			return fmt.Errorf("closing store %s: %w", o.store, err)
+		}
+		fmt.Fprintf(w, "store     %s (salvage with: nvrecover -store %s)\n", o.store, o.store)
 	}
 
 	s := res.Sum

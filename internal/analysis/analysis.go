@@ -267,7 +267,10 @@ var errcheckScope = prefixMatcher(
 	"repro/internal/mem",
 	"repro/internal/recovery",
 	"repro/internal/omc",
+	"repro/internal/soak",
 	"repro/cmd/nvrecover",
+	"repro/cmd/nvcheck",
+	"repro/cmd/nvsim",
 )
 
 // prefixMatcher matches an import path equal to, or nested under, any of

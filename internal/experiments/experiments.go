@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -140,6 +141,16 @@ func Run(schemeName, wlName string, scale Scale, cfgMod func(*sim.Config)) (RunR
 	s, err := NewScheme(schemeName, &cfg)
 	if err != nil {
 		return RunResult{}, err
+	}
+	if cfg.StoreDir != "" {
+		// Back the content plane with the on-disk store. Attaching after
+		// construction is lossless: AttachPlane migrates committed words,
+		// and still-queued construction writes drain onto the new plane.
+		plane, err := mem.OpenFilePlane(cfg.StoreDir, cfg.CheckpointEvery)
+		if err != nil {
+			return RunResult{}, err
+		}
+		s.NVM().AttachPlane(plane)
 	}
 	wl, err := workload.Get(wlName)
 	if err != nil {

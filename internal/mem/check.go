@@ -1,0 +1,43 @@
+package mem
+
+// Record checksum primitives shared by every durable byte the simulated
+// machine emits: the OMC's commit/seal/genesis records (internal/omc wraps
+// these helpers) and the file-backed durable plane's on-disk manifest,
+// checkpoint and delta-log records. Keeping one encoding means a record
+// that round-trips through the file plane validates with exactly the same
+// code that validates it inside a raw NVM image.
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche word mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PairMix combines two words into one avalanche-mixed digest word. It is
+// the unit of both record checksums and table digests.
+func PairMix(a, b uint64) uint64 {
+	return mix64(a*0x9e3779b97f4a7c15 ^ mix64(b))
+}
+
+// RecordCheck folds a record's payload words into its trailing checksum.
+func RecordCheck(words []uint64) uint64 {
+	c := uint64(0x5245434b53554d31) // "RECKSUM1"
+	for _, w := range words {
+		c = PairMix(c, w)
+	}
+	return c
+}
+
+// ValidRecord reports whether a full record slot (checksum in the last
+// word) is internally consistent and carries the expected magic.
+func ValidRecord(words []uint64, magic uint64) bool {
+	n := len(words)
+	if n < 2 || words[0] != magic {
+		return false
+	}
+	return words[n-1] == RecordCheck(words[:n-1])
+}

@@ -68,14 +68,15 @@ type NVM struct {
 
 	// Content plane (durability model). The timing model above books bank
 	// occupancy; the content plane additionally tracks what the array
-	// would actually hold after a power cut. store is the persisted word
-	// array; pending holds per-bank FIFO queues of writes whose device
+	// would actually hold after a power cut. plane is the persisted word
+	// array (in RAM by default, mirrored to disk when a FilePlane is
+	// attached); pending holds per-bank FIFO queues of writes whose device
 	// completion watermark has not passed yet — those are the writes a
 	// power cut can tear or lose. bankDone is the per-bank completion
 	// clock: unlike bankBusy (cumulative work, which grants idle credit
 	// for the *stall* model), a write issued at cycle t can never be
 	// durable before t+latency.
-	store    map[uint64]uint64
+	plane    DurablePlane
 	pending  [][]pendingWrite
 	bankDone []uint64
 	inj      *fault.Injector
@@ -98,7 +99,7 @@ func NewNVM(cfg *sim.Config) *NVM {
 		wear:     make(map[uint64]int64),
 		series:   stats.NewTimeSeries(cfg.TimeSeriesBuckets),
 		stat:     stats.NewSet("nvm"),
-		store:    make(map[uint64]uint64),
+		plane:    NewRAMPlane(),
 		pending:  make([][]pendingWrite, cfg.NVMBanks),
 		bankDone: make([]uint64, cfg.NVMBanks),
 		bus:      cfg.Obs,

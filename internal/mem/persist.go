@@ -13,6 +13,55 @@ func (n *NVM) AttachFaults(inj *fault.Injector) { n.inj = inj }
 // Injector returns the attached fault injector (nil when faults are off).
 func (n *NVM) Injector() *fault.Injector { return n.inj }
 
+// AttachPlane replaces the content plane (usually with a FilePlane so the
+// durable image survives process death). Words already committed to the
+// previous plane are migrated so attachment order relative to construction
+// traffic cannot lose content; callers should still attach before the run
+// starts so the on-disk delta logs carry the full history.
+func (n *NVM) AttachPlane(p DurablePlane) {
+	if p == nil {
+		return
+	}
+	old := n.plane.Snapshot()
+	for _, a := range old.SortedAddrs() {
+		v, _ := old.Word(a)
+		p.Apply(a, []uint64{v})
+	}
+	n.plane = p
+}
+
+// Plane returns the attached content plane.
+func (n *NVM) Plane() DurablePlane { return n.plane }
+
+// SealDurable is the epoch-seal persistence barrier on durable (file)
+// planes: every queued write drains into the persisted array — the sealing
+// controller waits for its bank queues, the file plane logs the words —
+// and the plane publishes the sealed epoch (delta-log fsync + manifest
+// rename). On the default RAM plane it is a no-op so in-memory runs keep
+// their historical drain schedule byte-for-byte. I/O errors accumulate in
+// the plane (Err/Close); the device model cannot stall on host I/O.
+func (n *NVM) SealDurable(epoch, now uint64) {
+	if !n.plane.Durable() {
+		return
+	}
+	for b := range n.pending {
+		q := n.pending[b]
+		n.pending[b] = nil
+		for _, w := range q {
+			n.commit(w, now)
+		}
+		if n.bankDone[b] < now {
+			n.bankDone[b] = now
+		}
+	}
+	n.plane.SealEpoch(epoch)
+}
+
+// ClosePlane flushes and closes the content plane, returning the first
+// write-path I/O error. Drivers that attached a FilePlane must call it
+// before trusting the directory.
+func (n *NVM) ClosePlane() error { return n.plane.Close() }
+
 // wordAlign truncates addr to 8-byte word granularity. The content plane
 // models the device's atomic-persist unit, which is an 8-byte word.
 func wordAlign(addr uint64) uint64 { return addr &^ 7 }
@@ -86,9 +135,7 @@ func (n *NVM) enqueue(addr uint64, words []uint64, now uint64, booked bool) {
 // cycle the drain was observed at (the write's own completion may be older).
 func (n *NVM) commit(w pendingWrite, now uint64) {
 	n.bus.Emit(obs.KindNVMDrain, now, n.bankOf(w.addr), 0, w.addr, uint64(len(w.words)), 0)
-	for i, v := range w.words {
-		n.store[w.addr+uint64(i*8)] = v
-	}
+	n.plane.Apply(w.addr, w.words)
 }
 
 // PowerCut simulates losing power at cycle now and returns the resulting
@@ -131,31 +178,27 @@ func (n *NVM) PowerCut(now uint64) *Image {
 		}
 	}
 	if n.inj.Enabled() {
-		for f := 0; f < n.inj.FlipCount() && len(n.store) > 0; f++ {
-			keys := sortedWordAddrs(n.store)
+		for f := 0; f < n.inj.FlipCount() && n.plane.Words() > 0; f++ {
+			keys := n.plane.SortedAddrs()
 			idx, bit := n.inj.Flip(len(keys))
-			n.store[keys[idx]] ^= 1 << bit
+			n.plane.XorWord(keys[idx], 1<<bit)
 			n.inj.NoteFlip(keys[idx], bit)
 			n.stat.Inc("cut_bit_flips")
 		}
 	}
-	return snapshotImage(n.store)
+	return n.plane.Snapshot()
 }
 
 // Image returns the durable content as if every queued write completed
 // cleanly — the fault-free final image. It does not consume the queues.
 func (n *NVM) Image() *Image {
-	words := make(map[uint64]uint64, len(n.store))
-	//nvlint:allow maprange copying into the Image snapshot map
-	for a, v := range n.store {
-		words[a] = v
-	}
+	img := n.plane.Snapshot()
 	for b := range n.pending {
 		for _, w := range n.pending[b] {
 			for i, v := range w.words {
-				words[w.addr+uint64(i*8)] = v
+				img.words[w.addr+uint64(i*8)] = v
 			}
 		}
 	}
-	return &Image{words: words}
+	return img
 }

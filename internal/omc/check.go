@@ -79,21 +79,12 @@ func SealRecAddr(id, seq int) uint64 {
 	return SealBase + uint64(id)*omcRegion + uint64(seq)*RecSlotBytes
 }
 
-// mix64 is the splitmix64 finalizer: a cheap full-avalanche word mixer.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // PairMix combines two words into one avalanche-mixed digest word. It is
-// the unit of both record checksums and table digests.
-func PairMix(a, b uint64) uint64 {
-	return mix64(a*0x9e3779b97f4a7c15 ^ mix64(b))
-}
+// the unit of both record checksums and table digests. The primitive lives
+// in internal/mem (alongside the file-backed durable plane, which shares
+// the encoding for its on-disk records); this wrapper keeps omc call sites
+// unchanged.
+func PairMix(a, b uint64) uint64 { return mem.PairMix(a, b) }
 
 // LineCheck is the per-payload-line checksum. Binding the line address and
 // writing epoch (not just the data) means a stale record left at a reused
@@ -104,23 +95,11 @@ func LineCheck(lineAddr, epoch, data uint64) uint64 {
 }
 
 // RecordCheck folds a record's payload words into its trailing checksum.
-func RecordCheck(words []uint64) uint64 {
-	c := uint64(0x5245434b53554d31) // "RECKSUM1"
-	for _, w := range words {
-		c = PairMix(c, w)
-	}
-	return c
-}
+func RecordCheck(words []uint64) uint64 { return mem.RecordCheck(words) }
 
 // ValidRecord reports whether a full record slot (checksum in the last
 // word) is internally consistent and carries the expected magic.
-func ValidRecord(words []uint64, magic uint64) bool {
-	n := len(words)
-	if n < 2 || words[0] != magic {
-		return false
-	}
-	return words[n-1] == RecordCheck(words[:n-1])
-}
+func ValidRecord(words []uint64, magic uint64) bool { return mem.ValidRecord(words, magic) }
 
 // writeGenesis persists the group-construction record: without it recovery
 // cannot distinguish "young run, nothing committed yet" from "commit log

@@ -254,6 +254,9 @@ func (o *OMC) advanceRecEpoch(now uint64) {
 	// the epoch plus the Master Table's entry count and digest.
 	o.nvm.Persist(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, []uint64{er}, now)
 	o.writeCommitRecord(now)
+	// On a durable (file) plane the advance is also the epoch-seal
+	// persistence barrier: drain bank queues and publish the manifest.
+	o.nvm.SealDurable(o.recEpoch, o.now)
 	o.stat.Inc("recepoch_advances")
 }
 
@@ -381,6 +384,7 @@ func (o *OMC) SealTo(now, floor uint64) {
 	}
 	o.nvm.Persist(mem.WMeta, RecEpochAddr-uint64(o.id)*8, 8, []uint64{o.recEpoch}, now)
 	o.writeCommitRecord(now)
+	o.nvm.SealDurable(o.recEpoch, o.now)
 }
 
 // RecEpoch returns the recoverable epoch from this OMC's perspective.

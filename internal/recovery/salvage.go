@@ -48,15 +48,19 @@ type PartitionReport struct {
 
 // SalvageReport is the machine-readable result of a salvage attempt.
 type SalvageReport struct {
-	GroupSize     int               `json:"group_size"`
-	ClaimedEpoch  uint64            `json:"claimed_epoch"` // group-wide committed epoch (min over partitions)
-	RestoredEpoch uint64            `json:"restored_epoch"`
-	WalkedBack    bool              `json:"walked_back"`
-	Refused       bool              `json:"refused"`
-	Reason        string            `json:"reason,omitempty"`
-	LinesRestored int               `json:"lines_restored"`
-	Partitions    []PartitionReport `json:"partitions"`
-	Damage        []Damage          `json:"damage"`
+	GroupSize     int    `json:"group_size"`
+	ClaimedEpoch  uint64 `json:"claimed_epoch"` // group-wide committed epoch (min over partitions)
+	RestoredEpoch uint64 `json:"restored_epoch"`
+	// StoreSealedEpoch is the newest epoch the on-disk manifest claimed
+	// durable when salvage ran against a file-backed store directory
+	// (SalvageDir); zero for in-memory salvage.
+	StoreSealedEpoch uint64            `json:"store_sealed_epoch,omitempty"`
+	WalkedBack       bool              `json:"walked_back"`
+	Refused          bool              `json:"refused"`
+	Reason           string            `json:"reason,omitempty"`
+	LinesRestored    int               `json:"lines_restored"`
+	Partitions       []PartitionReport `json:"partitions"`
+	Damage           []Damage          `json:"damage"`
 }
 
 // JSON renders the report for machine consumption.

@@ -67,6 +67,14 @@ type Config struct {
 	FaultClass string
 	FaultSeed  int64
 
+	// Durable store. StoreDir, when non-empty, backs the NVM content plane
+	// with the append/checkpoint file format under that directory (a fresh
+	// one; drivers refuse an existing store). Empty keeps the historical
+	// in-memory plane: runs are byte-identical to pre-file-plane behaviour.
+	// CheckpointEvery sets base-image cadence in epoch seals (0: default).
+	StoreDir        string
+	CheckpointEvery int
+
 	// TimeSeriesBuckets controls Fig-17-style bandwidth bucketing.
 	TimeSeriesBuckets int
 
@@ -183,6 +191,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: WrapWidth must be in [4,16], got %d", c.WrapWidth)
 	case !validFaultClass(c.FaultClass):
 		return fmt.Errorf("sim: unknown FaultClass %q (\"\", torn, flip, loss, nak, all)", c.FaultClass)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("sim: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
 	}
 	return nil
 }

@@ -1,0 +1,137 @@
+package soak
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"repro/internal/recovery"
+)
+
+// Result summarises one parent-side soak run.
+type Result struct {
+	// Killed reports whether the child was SIGKILLed (false: ran to
+	// completion and exited 0).
+	Killed bool
+	// KillIndex / KillPoint / KillEpoch identify the milestone the child
+	// was parked on when killed (index -1 when not killed).
+	KillIndex int
+	KillPoint string
+	KillEpoch uint64
+	// DurableEpoch is the newest epoch whose seal every member published
+	// (Members manifest renames acknowledged) before the run ended — the
+	// epoch the store directory must provably restore.
+	DurableEpoch uint64
+	// Milestones counts milestones the child reached.
+	Milestones int
+}
+
+// Run spawns bin args... as a soak writer child (ChildEnv(p) appended to
+// the environment), feeds it permission milestone by milestone, and
+// SIGKILLs it while it is parked on milestone killAt. A killAt beyond the
+// run's milestone count lets the child run to completion (useful both as
+// the control case and to count milestones).
+//
+// Because the child blocks on stdin after announcing each milestone, the
+// kill lands at an exact, reproducible boundary: killing at index k after
+// seed s always leaves byte-identical directory contents modulo file
+// timestamps.
+func Run(bin string, args []string, p Params, killAt int) (*Result, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), ChildEnv(p)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("soak: stdin pipe: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("soak: stdout pipe: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("soak: start child: %w", err)
+	}
+	abort := func(err error) (*Result, error) {
+		_ = cmd.Process.Kill() // best-effort teardown; err already holds the cause
+		_ = cmd.Wait()
+		return nil, err
+	}
+	res := &Result{KillIndex: -1}
+	renamed := make(map[uint64]int)
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		var (
+			idx   int
+			point string
+			epoch uint64
+		)
+		if _, err := fmt.Sscanf(sc.Text(), "M %d %s %d", &idx, &point, &epoch); err != nil {
+			return abort(fmt.Errorf("soak: bad milestone %q from child: %w", sc.Text(), err))
+		}
+		res.Milestones = idx + 1
+		// Milestones announce completed actions, so a rename milestone means
+		// the manifest is already durable — even if we kill on it.
+		if point == "manifest-renamed" {
+			renamed[epoch]++
+			if renamed[epoch] >= Members && epoch > res.DurableEpoch {
+				res.DurableEpoch = epoch
+			}
+		}
+		if idx == killAt {
+			res.Killed = true
+			res.KillIndex, res.KillPoint, res.KillEpoch = idx, point, epoch
+			if err := cmd.Process.Kill(); err != nil {
+				return abort(fmt.Errorf("soak: kill child: %w", err))
+			}
+			_ = stdin.Close()
+			_ = cmd.Wait() // SIGKILL: the non-zero exit is the point
+			return res, nil
+		}
+		if _, err := io.WriteString(stdin, "GO\n"); err != nil {
+			return abort(fmt.Errorf("soak: feeding child: %w", err))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return abort(fmt.Errorf("soak: reading child: %w", err))
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("soak: child failed: %v; stderr: %s", err, stderr.String())
+	}
+	return res, nil
+}
+
+// CheckDir cold-salvages the store directory and verifies the
+// salvage-or-refuse contract against what the parent observed:
+//
+//   - a refusal is acceptable only when nothing was ever durable
+//     (durable == 0) and the report carries findings;
+//   - a restored image must be of an epoch >= durable (the store may
+//     legitimately hold more than was acknowledged — a later seal's data
+//     can be on disk even if its rename was not observed) and must match
+//     the golden model of that epoch exactly.
+//
+// The salvage report is returned in all cases so callers can archive it.
+func CheckDir(dir string, durable uint64, golden map[uint64]map[uint64]uint64) (*recovery.SalvageReport, error) {
+	out, rep, err := recovery.SalvageDir(dir)
+	if err != nil {
+		if durable == 0 && rep.NonEmpty() {
+			return rep, nil
+		}
+		return rep, fmt.Errorf("soak: salvage refused but epoch %d was durable: %w", durable, err)
+	}
+	if rep.RestoredEpoch < durable {
+		return rep, fmt.Errorf("soak: restored epoch %d below durable epoch %d", rep.RestoredEpoch, durable)
+	}
+	g, ok := golden[rep.RestoredEpoch]
+	if !ok {
+		return rep, fmt.Errorf("soak: restored epoch %d was never written", rep.RestoredEpoch)
+	}
+	if err := recovery.Verify(out, g); err != nil {
+		return rep, fmt.Errorf("soak: restored epoch %d diverges from golden: %w", rep.RestoredEpoch, err)
+	}
+	return rep, nil
+}
