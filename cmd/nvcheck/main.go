@@ -212,7 +212,7 @@ func runFaults(ctx context.Context, o options, w io.Writer) error {
 		class := classes[i/o.fseeds]
 		if err := ctx.Err(); err != nil {
 			ft.flush(w, time.Since(start))
-			ferr = fmt.Errorf("interrupted after %d regimes", ft.regimes)
+			ferr = fmt.Errorf("interrupted after %d regimes: %w", ft.regimes, err)
 			return false
 		}
 		if c.d != nil {
@@ -243,6 +243,7 @@ func archiveReport(dir string, loop int, rep interface{ JSON() ([]byte, error) }
 	}
 	js, err := rep.JSON()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvcheck: report json:", err)
 		return
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -300,7 +301,7 @@ func runCrashSoak(ctx context.Context, o options, w io.Writer) error {
 	restored, refused := 0, 0
 	for i := 0; i < o.loops; i++ {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("nvcheck: interrupted after %d loops", i)
+			return fmt.Errorf("nvcheck: interrupted after %d loops: %w", i, err)
 		}
 		killAt := int(rng.Uint64n(uint64(total)))
 		dir := filepath.Join(base, fmt.Sprintf("store-%03d", i))
@@ -429,7 +430,7 @@ func run(ctx context.Context, o options, w io.Writer) error {
 		if err := ctx.Err(); err != nil {
 			fmt.Fprintf(w, "interrupted: %d/%d traces ok (%d boundary + %d crash verifies, %v)\n",
 				i, o.traces, boundary, crash, time.Since(start).Round(time.Millisecond))
-			ferr = fmt.Errorf("interrupted after %d traces", i)
+			ferr = fmt.Errorf("interrupted after %d traces: %w", i, err)
 			return false
 		}
 		if c.d != nil {

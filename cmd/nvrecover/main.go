@@ -73,6 +73,8 @@ func runStore(o options, w io.Writer) error {
 	if rep != nil {
 		if js, jerr := rep.JSON(); jerr == nil {
 			fmt.Fprintf(w, "%s\n", js)
+		} else {
+			fmt.Fprintf(w, "salvage report unprintable: %v\n", jerr)
 		}
 	}
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding, positioned in the analyzed source.
@@ -75,24 +76,69 @@ type Analyzer struct {
 }
 
 // Shared is the driver's cross-package pre-scan: state that an analyzer
-// needs about declarations outside the package it is currently visiting.
+// needs about declarations outside the package it is currently visiting,
+// plus caches that outlive a single (package, analyzer) pass.
 type Shared struct {
 	// WrapSensitive holds the type names marked `nvlint:wrapsensitive`
 	// (values of these types wrap around and must not be compared or
 	// advanced with raw operators).
 	WrapSensitive map[*types.TypeName]bool
+
+	// GuardedFields maps a struct field marked `nvlint:guardedby <mu>` to
+	// the name of the sibling mutex field that must be held around every
+	// access (see guardedby.go).
+	GuardedFields map[*types.Var]string
+
+	// cfgs caches one control-flow graph per function body across all
+	// analyzers and packages of the run.
+	cfgs map[*ast.BlockStmt]*CFG
 }
 
-// directiveWrapSensitive and directiveWrapSafe are the comment markers the
-// epochwrap analyzer honours (see epochwrap.go).
+// The comment markers (directives) the analyzers honour. Each is written in
+// a doc or trailing comment of the declaration it annotates:
+//
+//	nvlint:wrapsensitive        on a type: values wrap, raw compares banned
+//	nvlint:wrapsafe             on a func: raw operators allowed inside
+//	nvlint:durable              on a func: persistorder audits its body
+//	nvlint:guardedby <mu>       on a field: accesses must hold sibling <mu>
+//	nvlint:locked <mu>          on a method: caller already holds recv.<mu>
 const (
 	directiveWrapSensitive = "nvlint:wrapsensitive"
 	directiveWrapSafe      = "nvlint:wrapsafe"
+	directiveDurable       = "nvlint:durable"
+	directiveGuardedBy     = "nvlint:guardedby"
+	directiveLocked        = "nvlint:locked"
 )
+
+// guardedByRe extracts the mutex field name from a guardedby directive.
+var guardedByRe = regexp.MustCompile(directiveGuardedBy + `\s+([A-Za-z_]\w*)`)
+
+// lockedRe extracts the mutex field name from a locked directive.
+var lockedRe = regexp.MustCompile(directiveLocked + `\s+([A-Za-z_]\w*)`)
+
+// commentDirectiveArg returns the first capture of re across the comment
+// groups, or "".
+func commentDirectiveArg(re *regexp.Regexp, groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := re.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
 
 // newShared pre-scans all loaded packages for cross-package directives.
 func newShared(pkgs []*Package) *Shared {
-	sh := &Shared{WrapSensitive: make(map[*types.TypeName]bool)}
+	sh := &Shared{
+		WrapSensitive: make(map[*types.TypeName]bool),
+		GuardedFields: make(map[*types.Var]string),
+		cfgs:          make(map[*ast.BlockStmt]*CFG),
+	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
@@ -105,13 +151,27 @@ func newShared(pkgs []*Package) *Shared {
 					if !ok {
 						continue
 					}
-					if !commentHas(gd.Doc, directiveWrapSensitive) &&
-						!commentHas(ts.Doc, directiveWrapSensitive) &&
-						!commentHas(ts.Comment, directiveWrapSensitive) {
+					if commentHas(gd.Doc, directiveWrapSensitive) ||
+						commentHas(ts.Doc, directiveWrapSensitive) ||
+						commentHas(ts.Comment, directiveWrapSensitive) {
+						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							sh.WrapSensitive[tn] = true
+						}
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
 						continue
 					}
-					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
-						sh.WrapSensitive[tn] = true
+					for _, fld := range st.Fields.List {
+						guard := commentDirectiveArg(guardedByRe, fld.Doc, fld.Comment)
+						if guard == "" {
+							continue
+						}
+						for _, name := range fld.Names {
+							if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+								sh.GuardedFields[v] = guard
+							}
+						}
 					}
 				}
 				return true
@@ -162,13 +222,28 @@ func collectSuppressions(fset *token.FileSet, file *ast.File) []suppression {
 	return out
 }
 
+// Timing is the accumulated wall time one analyzer spent across every
+// package of a run.
+type Timing struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Run executes the analyzers over the loaded packages, applies
 // suppressions, and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus a per-analyzer wall-time breakdown, in the order the
+// analyzers were given (cmd/nvlint -timing).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	shared := newShared(pkgs)
 	var diags []Diagnostic
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
@@ -182,7 +257,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				check:  a.Name,
 				diags:  &diags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[i] += time.Since(start)
 		}
 	}
 
@@ -230,9 +307,41 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return kept
+	// Flow-sensitive analyzers can report the same fact once per CFG path
+	// that reaches it; identical diagnostics collapse to one.
+	uniq := kept[:0]
+	for i, d := range kept {
+		if i > 0 {
+			p := kept[i-1]
+			if p.Pos == d.Pos && p.Check == d.Check && p.Message == d.Message {
+				continue
+			}
+		}
+		uniq = append(uniq, d)
+	}
+	kept = uniq
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = Timing{Name: a.Name, Duration: elapsed[i]}
+	}
+	return kept, timings
+}
+
+// CountSuppressions counts every //nvlint:allow comment across the loaded
+// packages — the number the CI suppression budget gates on.
+func CountSuppressions(pkgs []*Package) int {
+	n := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			n += len(collectSuppressions(pkg.Fset, file))
+		}
+	}
+	return n
 }
 
 // simVisible is the set of packages whose behaviour is simulation-visible:
@@ -273,6 +382,14 @@ var errcheckScope = prefixMatcher(
 	"repro/cmd/nvsim",
 )
 
+// persistScope covers the packages that own the on-disk manifest
+// discipline: the file-backed plane and the crash-soak writer. persistorder
+// only audits functions there that carry the `nvlint:durable` marker.
+var persistScope = prefixMatcher(
+	"repro/internal/mem",
+	"repro/internal/soak",
+)
+
 // prefixMatcher matches an import path equal to, or nested under, any of
 // the given paths.
 func prefixMatcher(paths ...string) func(string) bool {
@@ -286,7 +403,8 @@ func prefixMatcher(paths ...string) func(string) bool {
 	}
 }
 
-// Analyzers returns the full nvlint suite.
+// Analyzers returns the full nvlint suite: the four syntactic-era checks
+// plus the three flow-sensitive ones built on the CFG/dataflow engine.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, EpochWrap, ErrCheck}
+	return []*Analyzer{MapRange, WallClock, EpochWrap, ErrCheck, PersistOrder, GuardedBy, ErrLatch}
 }

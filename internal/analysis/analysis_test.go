@@ -98,6 +98,27 @@ func TestErrCheck(t *testing.T) {
 	checkAnalyzer(t, ErrCheck, "errcheck", "repro/internal/recovery/ectest")
 }
 
+func TestPersistOrder(t *testing.T) {
+	checkAnalyzer(t, PersistOrder, "persistorder", "repro/internal/mem/potest")
+}
+
+func TestGuardedBy(t *testing.T) {
+	checkAnalyzer(t, GuardedBy, "guardedby", "repro/internal/obs/gbtest")
+}
+
+func TestErrLatch(t *testing.T) {
+	checkAnalyzer(t, ErrLatch, "errlatch", "repro/internal/recovery/eltest")
+}
+
+// TestPersistOrderScopeExcluded loads the persistorder fixtures outside the
+// durable-store packages: even annotated functions are not audited there.
+func TestPersistOrderScopeExcluded(t *testing.T) {
+	pkg := loadTestdata(t, "persistorder", "repro/internal/sim/potest")
+	if diags := Run([]*Package{pkg}, []*Analyzer{PersistOrder}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
 // TestScopeExcludesOtherPackages loads the maprange fixtures under an
 // import path outside the simulation-visible set: the analyzer must not
 // fire at all.
@@ -128,9 +149,12 @@ func TestSuppressionRequiresReason(t *testing.T) {
 }
 
 // TestAnalyzerRegistry pins the suite's composition: CI and the self-clean
-// test below both assume these four checks exist.
+// test below both assume these seven checks exist.
 func TestAnalyzerRegistry(t *testing.T) {
-	want := map[string]bool{"maprange": true, "wallclock": true, "epochwrap": true, "errcheck": true}
+	want := map[string]bool{
+		"maprange": true, "wallclock": true, "epochwrap": true, "errcheck": true,
+		"persistorder": true, "guardedby": true, "errlatch": true,
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d checks, want %d", len(got), len(want))

@@ -1,0 +1,512 @@
+package analysis
+
+// Intra-procedural control-flow graphs over go/ast, stdlib-only. BuildCFG
+// decomposes one function body into basic blocks connected by edges for
+// branches, loops, switch/select dispatch, break/continue/goto, and the
+// defer-then-exit path every return takes. Analyzers never see a nested
+// statement inside a block: structured statements are flattened so a block's
+// node list is exactly the straight-line work of one path segment, which is
+// what makes the dataflow transfer functions in dataflow.go simple folds.
+//
+// Conventions:
+//
+//   - Blocks[0] is the entry block; Exit is a synthetic, empty final block.
+//   - A block ending in a two-way conditional branch records the condition
+//     in Cond, and then Succs[0] is the true edge, Succs[1] the false edge.
+//     Multi-way dispatch (switch, select, range) leaves Cond nil.
+//   - Every return statement edges to Ret, the synthetic block holding the
+//     function's deferred calls (wrapped in DeferRun, in reverse
+//     registration order); Ret edges to Exit. Control falling off the end
+//     of the body takes the same path through an EndMarker node.
+//   - panic and os.Exit terminate their block with no successors, so facts
+//     on dead paths never reach exit checks.
+//   - Function literals are opaque: their bodies are separate CFGs (see
+//     Pass.FuncCFG), never spliced into the enclosing function's graph.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: straight-line nodes plus outgoing edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	// Cond is the branch condition when the block ends in a two-way
+	// conditional; then Succs[0] is the true edge and Succs[1] the false
+	// edge. Nil for unconditional or multi-way successors.
+	Cond  ast.Expr
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // in creation order; Blocks[0] is the entry
+	Entry  *Block
+	// Ret collects every return path before Exit and holds the deferred
+	// calls (as DeferRun nodes, last registered first).
+	Ret  *Block
+	Exit *Block // synthetic, empty, no successors
+}
+
+// DeferRun marks a deferred call executing on the function's return path;
+// it appears in Ret, while the registering *ast.DeferStmt stays at its
+// source position. Position info delegates to the call.
+type DeferRun struct {
+	*ast.CallExpr
+}
+
+// RangeHead is the per-iteration evaluation of a range statement — the
+// ranged operand plus the key/value assignment — without its body, so block
+// nodes never nest statements. Position info delegates to the statement.
+type RangeHead struct {
+	*ast.RangeStmt
+}
+
+// EndMarker is the implicit return taken when control falls off the end of
+// a function body; analyzers use it for exit checks on void paths.
+// Position info delegates to the body.
+type EndMarker struct {
+	*ast.BlockStmt
+}
+
+// Reachable returns the blocks reachable from the entry, in index order.
+func (g *CFG) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var out []*Block
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{labels: make(map[string]*Block)}
+	entry := b.newBlock()
+	b.ret = b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, &EndMarker{body})
+		b.edge(b.cur, b.ret)
+	}
+	exit := b.newBlock()
+	for i := len(b.deferred) - 1; i >= 0; i-- {
+		b.ret.Nodes = append(b.ret.Nodes, &DeferRun{b.deferred[i]})
+	}
+	b.edge(b.ret, exit)
+	return &CFG{Blocks: b.blocks, Entry: entry, Ret: b.ret, Exit: exit}
+}
+
+// loopCtx is one enclosing break/continue target. A switch or select
+// contributes a ctx with a nil continue target.
+type loopCtx struct {
+	label     string
+	breakB    *Block
+	continueB *Block // nil when the ctx is a switch/select
+}
+
+type cfgBuilder struct {
+	blocks   []*Block
+	cur      *Block // nil after a terminator (return/break/panic/...)
+	ret      *Block
+	deferred []*ast.CallExpr
+	loops    []loopCtx
+	labels   map[string]*Block // goto targets, created on demand
+	label    string            // pending label for the next loop/switch
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// block returns the current block, starting a fresh unreachable one when a
+// terminator already ended the path (dead code still gets parsed into
+// blocks; it simply has no incoming edges, so dataflow never visits it).
+func (b *cfgBuilder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// takeLabel consumes the pending label set by a LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+// findLoop resolves a break/continue target; wantContinue restricts the
+// search to loops. An empty label selects the innermost eligible ctx.
+func (b *cfgBuilder) findLoop(label string, wantContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if wantContinue && lc.continueB == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && callTerminates(call) {
+			b.cur = nil
+		}
+	case *ast.DeferStmt:
+		b.add(s)
+		b.deferred = append(b.deferred, s.Call)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.block(), b.ret)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		lb, ok := b.labels[s.Label.Name]
+		if !ok {
+			lb = b.newBlock()
+			b.labels[s.Label.Name] = lb
+		}
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case nil, *ast.EmptyStmt:
+		// no effect, no node
+	default:
+		// Assign, IncDec, Decl, Go, Send, ...: plain straight-line work.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		if lc := b.findLoop(label, false); lc != nil {
+			b.add(s)
+			b.edge(b.block(), lc.breakB)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		if lc := b.findLoop(label, true); lc != nil {
+			b.add(s)
+			b.edge(b.block(), lc.continueB)
+		}
+		b.cur = nil
+	case token.GOTO:
+		lb, ok := b.labels[s.Label.Name]
+		if !ok {
+			lb = b.newBlock()
+			b.labels[s.Label.Name] = lb
+		}
+		b.add(s)
+		b.edge(b.block(), lb)
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Wired by switchStmt: the clause body's trailing fallthrough edges
+		// into the next clause's body block.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.block()
+	head.Nodes = append(head.Nodes, s.Cond)
+	head.Cond = s.Cond
+	thenB := b.newBlock()
+	join := b.newBlock()
+	elseTarget := join
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.newBlock()
+		elseTarget = elseB
+	}
+	b.edge(head, thenB)
+	b.edge(head, elseTarget)
+	b.cur = thenB
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, join)
+	}
+	if s.Else != nil {
+		b.cur = elseB
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.cur = head
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body)
+		b.edge(head, exit)
+	} else {
+		b.edge(head, body)
+	}
+	continueB := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueB = post
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakB: exit, continueB: continueB})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, continueB)
+	}
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.block(), head)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	head.Nodes = append(head.Nodes, &RangeHead{s})
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, exit)
+	b.loops = append(b.loops, loopCtx{label: label, breakB: exit, continueB: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+// switchStmt builds expression and type switches. A tagless expression
+// switch (`switch { case cond: ... }`) is sugar for an if/else-if chain and
+// is built as one: each case expression becomes a conditional block with
+// true/false edges, so edge-sensitive analyzers see `case err != nil:`
+// exactly like `if err != nil`. Tagged and type switches keep a dispatch
+// shape — tag evaluation in the head, one block per clause with the case
+// expressions leading it, a head edge per clause plus a default edge to the
+// join when no clause is `default:`. Both shapes wire fallthrough edges
+// between consecutive clause bodies.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.block()
+	join := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	defaultIdx := -1
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock()
+		if cc.List == nil {
+			defaultIdx = i
+		}
+	}
+	if tag == nil && assign == nil {
+		// Tagless: chain the case tests. Each expression gets its own
+		// conditional block — true to the clause body, false on to the next
+		// test, ending at the default body (or the join).
+		miss := join
+		if defaultIdx >= 0 {
+			miss = bodies[defaultIdx]
+		}
+		prev := head // falls into the first test
+		var tests []*Block
+		var targets []*Block
+		for i, cc := range clauses {
+			for _, e := range cc.List {
+				t := b.newBlock()
+				t.Nodes = append(t.Nodes, e)
+				t.Cond = e
+				tests = append(tests, t)
+				targets = append(targets, bodies[i])
+			}
+		}
+		for i, t := range tests {
+			if i == 0 {
+				b.edge(prev, t)
+			}
+			b.edge(t, targets[i]) // true edge
+			if i+1 < len(tests) {
+				b.edge(t, tests[i+1]) // false edge
+			} else {
+				b.edge(t, miss)
+			}
+		}
+		if len(tests) == 0 { // no case expressions at all
+			b.edge(prev, miss)
+		}
+	} else {
+		for i, cc := range clauses {
+			for _, e := range cc.List {
+				bodies[i].Nodes = append(bodies[i].Nodes, e)
+			}
+			b.edge(head, bodies[i])
+		}
+		if defaultIdx < 0 {
+			b.edge(head, join)
+		}
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakB: join})
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		stmts := cc.Body
+		fellThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				stmts = stmts[:n-1]
+				fellThrough = true
+			}
+		}
+		b.stmtList(stmts)
+		if b.cur != nil {
+			if fellThrough && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+			} else {
+				b.edge(b.cur, join)
+			}
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.block()
+	join := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakB: join})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		clause := b.newBlock()
+		b.edge(head, clause)
+		b.cur = clause
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = join
+}
+
+// callTerminates reports whether a call statement never returns: the panic
+// builtin and direct os.Exit calls. (Purely syntactic on purpose — the CFG
+// is built before any type information is consulted.)
+func callTerminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,413 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses a function body and builds its CFG.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// succIndexes renders a block's successor list as indexes.
+func succIndexes(b *Block) []int {
+	out := make([]int, len(b.Succs))
+	for i, s := range b.Succs {
+		out[i] = s.Index
+	}
+	return out
+}
+
+// reachableSet returns the reachable block indexes.
+func reachableSet(g *CFG) map[int]bool {
+	out := make(map[int]bool)
+	for _, b := range g.Reachable() {
+		out[b.Index] = true
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFor(t, "x := 1\n_ = x")
+	r := g.Reachable()
+	if len(r) < 3 { // entry, ret, exit at minimum
+		t.Fatalf("reachable blocks = %d, want >= 3", len(r))
+	}
+	if !reachableSet(g)[g.Exit.Index] {
+		t.Fatalf("exit not reachable in a straight-line function")
+	}
+	// The entry must end with the fall-off-the-end marker.
+	last := g.Entry.Nodes[len(g.Entry.Nodes)-1]
+	if _, ok := last.(*EndMarker); !ok {
+		t.Fatalf("last entry node = %T, want *EndMarker", last)
+	}
+}
+
+func TestCFGBranch(t *testing.T) {
+	g := buildFor(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	// The entry block must be conditional with exactly two successors:
+	// true edge first, false edge second.
+	if g.Entry.Cond == nil {
+		t.Fatalf("entry block has no condition")
+	}
+	if n := len(g.Entry.Succs); n != 2 {
+		t.Fatalf("conditional block has %d successors, want 2: %v", n, succIndexes(g.Entry))
+	}
+	if g.Entry.Succs[0] == g.Entry.Succs[1] {
+		t.Fatalf("true and false edges point at the same block")
+	}
+	if !reachableSet(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable")
+	}
+}
+
+func TestCFGBranchWithoutElse(t *testing.T) {
+	g := buildFor(t, "x := 1\nif x > 0 {\n x = 2\n}\n_ = x")
+	if g.Entry.Cond == nil || len(g.Entry.Succs) != 2 {
+		t.Fatalf("if-without-else: entry cond=%v succs=%v", g.Entry.Cond, succIndexes(g.Entry))
+	}
+	// The false edge must bypass the then-block straight to the join.
+	thenB, joinB := g.Entry.Succs[0], g.Entry.Succs[1]
+	if len(thenB.Succs) != 1 || thenB.Succs[0] != joinB {
+		t.Fatalf("then block does not fall through to the join: %v", succIndexes(thenB))
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	g := buildFor(t, "s := 0\nfor i := 0; i < 10; i++ {\n s += i\n}\n_ = s")
+	// Some reachable block must have a back edge (successor with an index
+	// not greater than its own).
+	hasBack := false
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("for loop produced no back edge")
+	}
+	if !reachableSet(g)[g.Exit.Index] {
+		t.Fatalf("loop exit unreachable")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildFor(t, "s := 0\nfor _, v := range []int{1, 2} {\n s += v\n}\n_ = s")
+	// The range head is a two-way branch (iterate / exhausted) holding a
+	// RangeHead wrapper, with Cond nil (there is no boolean condition).
+	var head *Block
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*RangeHead); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("no block carries the RangeHead wrapper")
+	}
+	if len(head.Succs) != 2 || head.Cond != nil {
+		t.Fatalf("range head: cond=%v succs=%v, want nil cond and 2 successors", head.Cond, succIndexes(head))
+	}
+}
+
+func TestCFGDeferOrder(t *testing.T) {
+	g := buildFor(t, "defer println(1)\ndefer println(2)\nprintln(3)")
+	// Deferred calls run in reverse registration order in the ret block.
+	var runs []*DeferRun
+	for _, n := range g.Ret.Nodes {
+		if d, ok := n.(*DeferRun); ok {
+			runs = append(runs, d)
+		}
+	}
+	if len(runs) != 2 {
+		t.Fatalf("ret block holds %d DeferRun nodes, want 2", len(runs))
+	}
+	lit1 := runs[0].Args[0].(*ast.BasicLit).Value
+	lit2 := runs[1].Args[0].(*ast.BasicLit).Value
+	if lit1 != "2" || lit2 != "1" {
+		t.Fatalf("defer run order = %s, %s; want 2, 1 (reverse registration)", lit1, lit2)
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	g := buildFor(t, "x := 1\nreturn\n_ = x")
+	// The statement after the return parses into a block with no in-edges.
+	r := reachableSet(g)
+	found := false
+	for _, b := range g.Blocks {
+		if r[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("dead assignment after return is not in an unreachable block")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildFor(t, "x := 1\nif x > 0 {\n panic(\"no\")\n}\n_ = x")
+	// The panic block must have no successors: no edge claims the code
+	// after it executes.
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok && callTerminates(call) {
+				if len(b.Succs) != 0 {
+					t.Fatalf("panic block has successors %v, want none", succIndexes(b))
+				}
+			}
+		}
+	}
+}
+
+func TestCFGTaglessSwitchChain(t *testing.T) {
+	g := buildFor(t, "x := 1\nswitch {\ncase x > 0:\n x = 2\ncase x < 0:\n x = 3\ndefault:\n x = 4\n}\n_ = x")
+	// Every case test of a tagless switch is a two-way conditional.
+	tests := 0
+	for _, b := range g.Reachable() {
+		if b.Cond == nil {
+			continue
+		}
+		if be, ok := b.Cond.(*ast.BinaryExpr); ok && (be.Op == token.GTR || be.Op == token.LSS) {
+			tests++
+			if len(b.Succs) != 2 {
+				t.Fatalf("case test has %d successors, want 2", len(b.Succs))
+			}
+		}
+	}
+	if tests != 2 {
+		t.Fatalf("found %d conditional case tests, want 2", tests)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFor(t, "x := 1\nswitch x {\ncase 1:\n x = 2\n fallthrough\ncase 2:\n x = 3\n}\n_ = x")
+	// The first clause body must have an edge into the second clause body:
+	// find the block assigning 2 and check a successor assigns 3.
+	assigns := func(b *Block, lit string) bool {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			if bl, ok := as.Rhs[0].(*ast.BasicLit); ok && bl.Value == lit {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range g.Reachable() {
+		if !assigns(b, "2") {
+			continue
+		}
+		for _, s := range b.Succs {
+			if assigns(s, "3") {
+				return
+			}
+		}
+		t.Fatalf("fallthrough edge missing: successors of the first clause are %v", succIndexes(b))
+	}
+	t.Fatalf("first clause body not found")
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g := buildFor(t, "for i := 0; i < 10; i++ {\n if i == 3 {\n  continue\n }\n if i == 7 {\n  break\n }\n println(i)\n}\nprintln(\"done\")")
+	if !reachableSet(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable through break")
+	}
+	// continue must produce a second back edge (to the post block).
+	backs := 0
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				backs++
+			}
+		}
+	}
+	if backs < 2 {
+		t.Fatalf("found %d back edges, want >= 2 (loop latch and continue)", backs)
+	}
+}
+
+func TestCFGLabeledGoto(t *testing.T) {
+	g := buildFor(t, "i := 0\nagain:\n i++\n if i < 3 {\n  goto again\n }\n_ = i")
+	hasBack := false
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("goto loop produced no back edge")
+	}
+	if !reachableSet(g)[g.Exit.Index] {
+		t.Fatalf("exit unreachable")
+	}
+}
+
+// TestForwardFixpointLoop verifies the dataflow engine reaches a fixpoint on
+// a loop: a monotone counting lattice capped at a ceiling must converge and
+// report the in-fact of the loop body as the cap, not diverge.
+func TestForwardFixpointLoop(t *testing.T) {
+	g := buildFor(t, "s := 0\nfor i := 0; i < 10; i++ {\n s += i\n}\n_ = s")
+	const cap = 3
+	fl := Flow[int]{
+		Entry: 0,
+		Join: func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Equal: func(a, b int) bool { return a == b },
+		Transfer: func(n ast.Node, f int) int {
+			if _, ok := n.(*ast.AssignStmt); ok && f < cap {
+				return f + 1
+			}
+			return f
+		},
+	}
+	in := fl.Forward(g)
+	if len(in) == 0 {
+		t.Fatalf("no in-facts computed")
+	}
+	exitFact, ok := in[g.Exit]
+	if !ok {
+		t.Fatalf("exit has no in-fact")
+	}
+	if exitFact != cap {
+		t.Fatalf("exit in-fact = %d, want the cap %d (loop must iterate to fixpoint)", exitFact, cap)
+	}
+}
+
+// TestForwardJoinMeets verifies facts from both arms of a branch join.
+func TestForwardJoinMeets(t *testing.T) {
+	g := buildFor(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	// Transfer records the set of literal values assigned; join unions.
+	fl := Flow[map[string]bool]{
+		Entry: map[string]bool{},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := map[string]bool{}
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, f map[string]bool) map[string]bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return f
+			}
+			bl, ok := as.Rhs[0].(*ast.BasicLit)
+			if !ok {
+				return f
+			}
+			out := map[string]bool{}
+			for k := range f {
+				out[k] = true
+			}
+			out[bl.Value] = true
+			return out
+		},
+	}
+	in := fl.Forward(g)
+	exitFact := in[g.Exit]
+	for _, want := range []string{"1", "2", "3"} {
+		if !exitFact[want] {
+			t.Fatalf("exit fact %v is missing %q: branch facts not joined", exitFact, want)
+		}
+	}
+}
+
+// TestEdgeTransfer verifies branch-sensitive edge facts: the true and false
+// edges of a conditional receive different facts.
+func TestEdgeTransfer(t *testing.T) {
+	g := buildFor(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	fl := Flow[string]{
+		Entry: "",
+		Join: func(a, b string) string {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Equal:    func(a, b string) bool { return a == b },
+		Transfer: func(n ast.Node, f string) string { return f },
+		Edge: func(from *Block, branch int, f string) string {
+			if from.Cond == nil {
+				return f
+			}
+			if branch == 0 {
+				return "true-edge"
+			}
+			return "false-edge"
+		},
+	}
+	in := fl.Forward(g)
+	thenB, elseB := g.Entry.Succs[0], g.Entry.Succs[1]
+	if in[thenB] != "true-edge" || in[elseB] != "false-edge" {
+		t.Fatalf("edge facts: then=%q else=%q, want true-edge/false-edge", in[thenB], in[elseB])
+	}
+}
+
+// TestWalkShallowSkipsFuncLit verifies nested function literals are opaque
+// to the shallow walk (they have their own CFGs).
+func TestWalkShallowSkipsFuncLit(t *testing.T) {
+	src := "package p\nfunc f() {\n g := func() { inner() }\n _ = g\n}\nfunc inner() {}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "w.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	sawInner := false
+	for _, stmt := range fd.Body.List {
+		walkShallow(stmt, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "inner" {
+				sawInner = true
+			}
+			return true
+		})
+	}
+	if sawInner {
+		t.Fatalf("walkShallow descended into a FuncLit body")
+	}
+}

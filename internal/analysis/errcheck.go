@@ -16,6 +16,13 @@ import (
 // A single-value explicit discard (`_ = f()`) is allowed: the blank is the
 // audit trail. Calls into package fmt are exempt (terminal write errors are
 // not recoverable state).
+//
+// The check walks the CFG rather than the raw AST: only statements on a
+// path reachable from the function entry are audited, so code the flow
+// graph proves dead (after a return, in a branch cut off by panic/os.Exit)
+// no longer demands handling. The flow-sensitive completion of this check —
+// "an error that *was* captured must reach a latch or return on every
+// path" — is ErrLatch.
 var ErrCheck = &Analyzer{
 	Name:  "errcheck",
 	Doc:   "device and recovery paths must not ignore error returns",
@@ -24,23 +31,24 @@ var ErrCheck = &Analyzer{
 }
 
 func runErrCheck(pass *Pass) {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.ExprStmt:
-				if call, ok := s.X.(*ast.CallExpr); ok {
-					checkDiscardedCall(pass, call, "")
+	eachFuncCFG(pass, func(fn ast.Node, g *CFG) {
+		for _, b := range g.Reachable() {
+			for _, n := range b.Nodes {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						checkDiscardedCall(pass, call, "")
+					}
+				case *ast.GoStmt:
+					checkDiscardedCall(pass, s.Call, "go ")
+				case *ast.DeferStmt:
+					checkDiscardedCall(pass, s.Call, "defer ")
+				case *ast.AssignStmt:
+					checkBlankedError(pass, s)
 				}
-			case *ast.GoStmt:
-				checkDiscardedCall(pass, s.Call, "go ")
-			case *ast.DeferStmt:
-				checkDiscardedCall(pass, s.Call, "defer ")
-			case *ast.AssignStmt:
-				checkBlankedError(pass, s)
 			}
-			return true
-		})
-	}
+		}
+	})
 }
 
 // errorType is the predeclared error interface.

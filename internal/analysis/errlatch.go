@@ -1,0 +1,271 @@
+package analysis
+
+// ErrLatch is the flow-sensitive completion of ErrCheck: on the durable
+// paths (the same scope as errcheck — device models, recovery, the soak and
+// its CLIs), an error value that *was* captured must still reach a
+// consumer on every CFG path: a return, a latch (assignment into a field or
+// variable), or any call that takes it (p.fail(err), fmt.Errorf("%w", err),
+// abort(err)...). ErrCheck catches errors that were never looked at;
+// ErrLatch catches the subtler drop where `err` is assigned, perhaps even
+// nil-checked, and then forgotten on one branch.
+//
+// The dataflow fact maps each error-typed variable to the position of its
+// latest unconsumed assignment-from-a-call. A variable leaves the map when
+//
+//   - any expression uses it, other than a *top-level block condition* that
+//     is a bare nil test (`if err != nil {}` with an empty body must not
+//     count as handling — the branch verdict is applied per edge instead);
+//     a nil test nested in a larger expression (`return err == nil`,
+//     `err == nil && more`) is an ordinary consuming use;
+//   - control passes the edge that proves it nil (`err != nil` false edge,
+//     `err == nil` true edge).
+//
+// Reports fire at the assignment's position when
+//
+//   - the variable is overwritten by a new call result while still
+//     unconsumed on some path, or
+//   - a return (or fall-off-the-end) is reached with the variable still
+//     unconsumed and not proven nil.
+//
+// Paths that end in panic or os.Exit are exempt by construction: the CFG
+// gives them no edge to the exit.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ErrLatch is the flow-sensitive dropped-error analyzer.
+var ErrLatch = &Analyzer{
+	Name:  "errlatch",
+	Doc:   "on durable paths a captured error must reach a return or latch on every CFG path",
+	Match: errcheckScope,
+	Run:   runErrLatch,
+}
+
+// elFact maps an error variable to the position of the assignment whose
+// result is still unconsumed. Immutable; transfers clone before changing.
+type elFact map[types.Object]token.Pos
+
+func (f elFact) clone() elFact {
+	out := make(elFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// elJoin unions: a variable unconsumed on either path is unconsumed at the
+// merge (the report names the earliest assignment).
+func elJoin(a, b elFact) elFact {
+	out := a.clone()
+	for k, v := range b {
+		if cur, ok := out[k]; !ok || v < cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func elEqual(a, b elFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runErrLatch(pass *Pass) {
+	eachFuncCFG(pass, func(fn ast.Node, g *CFG) {
+		el := &errLatch{pass: pass, fn: fn, conds: make(map[ast.Node]bool)}
+		for _, b := range g.Reachable() {
+			if b.Cond != nil {
+				el.conds[b.Cond] = true
+			}
+		}
+		flow := Flow[elFact]{
+			Entry:    elFact{},
+			Join:     elJoin,
+			Equal:    elEqual,
+			Transfer: el.transfer,
+			Edge:     el.edge,
+		}
+		in := flow.Forward(g)
+		el.report = true
+		flow.Replay(g, in, func(*Block, ast.Node, elFact) {})
+	})
+}
+
+type errLatch struct {
+	pass   *Pass
+	fn     ast.Node          // the function whose CFG is being analyzed
+	conds  map[ast.Node]bool // block conditions: nil tests here get edge semantics
+	report bool
+}
+
+// edge consumes a variable along the edge that proves it nil.
+func (el *errLatch) edge(from *Block, branch int, f elFact) elFact {
+	if from.Cond == nil {
+		return f
+	}
+	nonNil, x, ok := errNilTest(el.pass, from.Cond)
+	if !ok {
+		return f
+	}
+	obj := el.errObj(x)
+	if obj == nil {
+		return f
+	}
+	// The variable is proven nil on the false edge of `!= nil` and the
+	// true edge of `== nil`.
+	nilPath := (branch == 1) == nonNil
+	if nilPath {
+		if _, tracked := f[obj]; tracked {
+			out := f.clone()
+			delete(out, obj)
+			return out
+		}
+	}
+	return f
+}
+
+// localTo reports whether obj is declared inside the function under
+// analysis. A captured variable (a closure latching into its enclosing
+// function's err) escapes the CFG — assigning it IS the latch, so it is
+// never tracked.
+func (el *errLatch) localTo(obj types.Object) bool {
+	return obj.Pos() >= el.fn.Pos() && obj.Pos() <= el.fn.End()
+}
+
+// errObj resolves an expression to a tracked-able error variable object.
+func (el *errLatch) errObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := el.pass.Info.Uses[id]
+	if obj == nil {
+		obj = el.pass.Info.Defs[id]
+	}
+	if v, ok := obj.(*types.Var); ok && types.Identical(v.Type(), errorType) {
+		return v
+	}
+	return nil
+}
+
+// transfer folds one node: consume uses, then record fresh assignments,
+// then run the exit check on returns.
+func (el *errLatch) transfer(n ast.Node, f elFact) elFact {
+	out := f
+	cloned := false
+	mutable := func() elFact {
+		if !cloned {
+			out = out.clone()
+			cloned = true
+		}
+		return out
+	}
+
+	// A node that *is* a block condition and a bare nil test consumes
+	// nothing: the edge transfer dispenses its verdict per branch, so
+	// `if err != nil {}` with an empty body still owes a consumer on the
+	// non-nil edge. A nil test anywhere else — nested (`return err == nil`,
+	// `err == nil && more`) or a switch case expression, which has no
+	// branch-sensitive edges — is an ordinary use and handles the error.
+	if el.conds[n] {
+		if cond, isExpr := n.(ast.Expr); isExpr {
+			if _, _, isNilTest := errNilTest(el.pass, cond); isNilTest {
+				return out
+			}
+		}
+	}
+
+	// 1. Uses anywhere in the node consume — except the LHS targets of an
+	// assignment (that is the def, handled below).
+	skip := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, isIdent := lhs.(*ast.Ident); isIdent {
+				skip[id] = true
+			}
+		}
+	}
+	walkShallow(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		obj := el.errObj(id)
+		if obj == nil {
+			return true
+		}
+		if _, tracked := out[obj]; tracked {
+			delete(mutable(), obj)
+		}
+		return true
+	})
+
+	// 2. Fresh assignment from a call arms tracking; overwriting a still
+	// unconsumed value is itself a drop.
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+			for _, lhs := range as.Lhs {
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					continue
+				}
+				obj := el.errObj(id)
+				if obj == nil || !el.localTo(obj) {
+					continue
+				}
+				if pos, tracked := out[obj]; tracked && el.report {
+					el.pass.Reportf(pos, "error assigned here is overwritten at line %d while still unhandled on some path; latch or return it first", el.pass.Fset.Position(as.Pos()).Line)
+				}
+				mutable()[obj] = as.Pos()
+			}
+		} else {
+			// A non-call assignment (err = nil, err = otherErr) settles the
+			// variable: tracking follows call results only.
+			for _, lhs := range as.Lhs {
+				if id, isIdent := lhs.(*ast.Ident); isIdent {
+					if obj := el.errObj(id); obj != nil {
+						if _, tracked := out[obj]; tracked {
+							delete(mutable(), obj)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Exit check: a return or fall-off-the-end with unconsumed errors.
+	switch n.(type) {
+	case *ast.ReturnStmt, *EndMarker:
+		if el.report && len(out) > 0 {
+			type drop struct {
+				name string
+				pos  token.Pos
+			}
+			var drops []drop
+			for obj, pos := range out {
+				drops = append(drops, drop{name: obj.Name(), pos: pos})
+			}
+			sort.Slice(drops, func(i, j int) bool {
+				if drops[i].pos != drops[j].pos {
+					return drops[i].pos < drops[j].pos
+				}
+				return drops[i].name < drops[j].name
+			})
+			for _, d := range drops {
+				el.pass.Reportf(d.pos, "error %s assigned here does not reach a return or latch on every path; handle it on the branch that drops it", d.name)
+			}
+		}
+	}
+	return out
+}

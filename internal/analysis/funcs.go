@@ -1,0 +1,76 @@
+package analysis
+
+// Function enumeration and CFG caching shared by every analyzer. The
+// flow-sensitive checks all follow the same shape: enumerate the functions
+// of a file (declarations and literals — a literal's body is its own
+// function, never part of the enclosing graph), fetch the cached CFG, run a
+// Flow over it.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// collectFuncs gathers every function node in the file, in source order.
+func collectFuncs(file *ast.File) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFunc returns the innermost function containing pos.
+func enclosingFunc(funcs []ast.Node, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, fn := range funcs {
+		if fn.Pos() <= pos && pos < fn.End() {
+			if best == nil || fn.Pos() > best.Pos() {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+// funcBody returns the body of a function declaration or literal (nil for
+// bodyless declarations).
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// FuncCFG returns the control-flow graph of a function body, built on first
+// use and cached across analyzers and packages for the rest of the run.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	if g, ok := p.Shared.cfgs[body]; ok {
+		return g
+	}
+	g := BuildCFG(body)
+	p.Shared.cfgs[body] = g
+	return g
+}
+
+// eachFuncCFG invokes f for every function with a body in the pass's files,
+// handing it the (cached) CFG. fn is the declaration or literal node, so
+// analyzers can inspect receivers and doc comments.
+func eachFuncCFG(pass *Pass, f func(fn ast.Node, g *CFG)) {
+	for _, file := range pass.Files {
+		for _, fn := range collectFuncs(file) {
+			body := funcBody(fn)
+			if body == nil {
+				continue
+			}
+			f(fn, pass.FuncCFG(body))
+		}
+	}
+}

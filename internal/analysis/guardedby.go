@@ -1,0 +1,252 @@
+package analysis
+
+// GuardedBy is the lock-discipline analyzer: a struct field annotated
+//
+//	// nvlint:guardedby mu
+//
+// (where mu is a sibling sync.Mutex/RWMutex field) may only be accessed
+// while that mutex is held. The analyzer runs a forward lock-set dataflow
+// over each function's CFG: x.mu.Lock() adds the rendered key "x.mu" to the
+// set, x.mu.Unlock() removes it, and at a merge point only locks held on
+// every incoming path survive. Every selector access to a guarded field
+// then demands its owner's mutex in the set.
+//
+// Two escape hatches keep the discipline writable:
+//
+//   - `defer x.mu.Unlock()` does not release at the defer site — the lock
+//     is held until return, which is exactly the idiom's meaning;
+//   - a method whose doc comment carries `nvlint:locked mu` starts with
+//     recv.mu already held: it documents (and the analyzer then enforces at
+//     the *callers'* annotated bodies) a caller-holds-the-lock contract for
+//     internal helpers.
+//
+// Composite literals never trip the check (a literal names fields by key,
+// not by selector), so constructors of fresh, unshared values stay clean.
+// Accesses through anything but a renderable base expression (call results,
+// index expressions) cannot be matched to a lock and are reported, so the
+// discipline also discourages unanalyzable aliasing of guarded state.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardedBy is the lock-discipline analyzer.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields marked nvlint:guardedby <mu> must only be touched with <mu> held",
+	Run:  runGuardedBy,
+}
+
+// lockSet is the dataflow fact: the rendered mutex expressions provably
+// held. Immutable; transfers clone before changing.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// lsJoin intersects: a lock is held at a merge only if held on every path.
+func lsJoin(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func lsEqual(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func runGuardedBy(pass *Pass) {
+	if len(pass.Shared.GuardedFields) == 0 {
+		return
+	}
+	eachFuncCFG(pass, func(fn ast.Node, g *CFG) {
+		gb := &guardedBy{pass: pass}
+		flow := Flow[lockSet]{
+			Entry:    entryLocks(pass, fn),
+			Join:     lsJoin,
+			Equal:    lsEqual,
+			Transfer: gb.transfer,
+		}
+		in := flow.Forward(g)
+		gb.report = true
+		flow.Replay(g, in, func(*Block, ast.Node, lockSet) {})
+	})
+}
+
+// entryLocks builds the entry fact from an `nvlint:locked <mu>` directive:
+// the receiver's (or, for free functions, the first parameter's) mutex is
+// already held when the function is entered.
+func entryLocks(pass *Pass, fn ast.Node) lockSet {
+	fd, ok := fn.(*ast.FuncDecl)
+	if !ok {
+		return lockSet{}
+	}
+	mu := commentDirectiveArg(lockedRe, fd.Doc)
+	if mu == "" {
+		return lockSet{}
+	}
+	base := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		base = fd.Recv.List[0].Names[0].Name
+	} else if fd.Type.Params != nil && len(fd.Type.Params.List) > 0 && len(fd.Type.Params.List[0].Names) > 0 {
+		base = fd.Type.Params.List[0].Names[0].Name
+	}
+	if base == "" {
+		return lockSet{}
+	}
+	return lockSet{base + "." + mu: true}
+}
+
+type guardedBy struct {
+	pass   *Pass
+	report bool
+}
+
+// transfer applies one node: check guarded accesses against the in-fact,
+// then fold lock/unlock calls.
+func (gb *guardedBy) transfer(n ast.Node, f lockSet) lockSet {
+	if gb.report {
+		gb.checkAccesses(n, f)
+	}
+	_, isDefer := n.(*ast.DeferStmt)
+	out := f
+	walkShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op := mutexOp(gb.pass, call)
+		if key == "" {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			if !out[key] {
+				out = out.clone()
+				out[key] = true
+			}
+		case "Unlock", "RUnlock":
+			// A deferred unlock releases at return, not here; the Ret
+			// block replays it as a DeferRun, where releasing is moot.
+			if !isDefer && out[key] {
+				out = out.clone()
+				delete(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp recognises x.mu.Lock()/Unlock()/RLock()/RUnlock() where x.mu is
+// a sync.Mutex or sync.RWMutex, returning the rendered key "x.mu".
+func mutexOp(pass *Pass, call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncMutex(tv.Type) {
+		return "", ""
+	}
+	k := exprKey(sel.X)
+	if k == "" {
+		return "", ""
+	}
+	return k, sel.Sel.Name
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkAccesses reports every guarded-field selector in n whose mutex is
+// not in the lock set.
+func (gb *guardedBy) checkAccesses(n ast.Node, f lockSet) {
+	type finding struct {
+		sel   *ast.SelectorExpr
+		field string
+		need  string
+	}
+	var found []finding
+	walkShallow(n, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := gb.pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldObj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, guarded := gb.pass.Shared.GuardedFields[fieldObj]
+		if !guarded {
+			return true
+		}
+		base := exprKey(sel.X)
+		need := base + "." + guard
+		if base == "" || !f[need] {
+			if base == "" {
+				need = "<base>." + guard
+			}
+			found = append(found, finding{sel: sel, field: fieldObj.Name(), need: need})
+		}
+		return true
+	})
+	// Source order within the node; findings are already deterministic but
+	// keep the sort in case walk order ever changes.
+	sort.Slice(found, func(i, j int) bool { return found[i].sel.Pos() < found[j].sel.Pos() })
+	for _, fd := range found {
+		held := make([]string, 0, len(f))
+		for k := range f {
+			held = append(held, k)
+		}
+		sort.Strings(held)
+		holding := "no locks held"
+		if len(held) > 0 {
+			holding = "holding " + strings.Join(held, ", ")
+		}
+		gb.pass.Reportf(fd.sel.Pos(), "field %s is guarded by %s which is not held here (%s); lock it or mark the helper nvlint:locked", fd.field, fd.need, holding)
+	}
+}

@@ -49,42 +49,6 @@ func runMapRange(pass *Pass) {
 	}
 }
 
-// collectFuncs gathers every function body in the file, innermost-last.
-func collectFuncs(file *ast.File) []ast.Node {
-	var out []ast.Node
-	ast.Inspect(file, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.FuncDecl, *ast.FuncLit:
-			out = append(out, n)
-		}
-		return true
-	})
-	return out
-}
-
-// enclosingFunc returns the innermost function containing pos.
-func enclosingFunc(funcs []ast.Node, pos token.Pos) ast.Node {
-	var best ast.Node
-	for _, fn := range funcs {
-		if fn.Pos() <= pos && pos < fn.End() {
-			if best == nil || fn.Pos() > best.Pos() {
-				best = fn
-			}
-		}
-	}
-	return best
-}
-
-func funcBody(fn ast.Node) *ast.BlockStmt {
-	switch f := fn.(type) {
-	case *ast.FuncDecl:
-		return f.Body
-	case *ast.FuncLit:
-		return f.Body
-	}
-	return nil
-}
-
 // isSortedKeyCollect reports whether the range loop only appends to slices
 // that are sorted later in the enclosing function. Appends may sit directly
 // in the body or under a single level of if/else guarding.

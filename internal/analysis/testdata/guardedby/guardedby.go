@@ -1,0 +1,104 @@
+// Package gbtest exercises nvlint's guardedby analyzer: fields annotated
+// nvlint:guardedby <mu> may only be touched while <mu> is held.
+package gbtest
+
+import "sync"
+
+// counter is the annotated type under test.
+type counter struct {
+	mu sync.Mutex
+	// nvlint:guardedby mu
+	n int
+	// nvlint:guardedby mu
+	names []string
+
+	// free is unguarded; touching it without the lock is fine.
+	free int
+}
+
+// rwbox exercises RWMutex and read locks.
+type rwbox struct {
+	mu sync.RWMutex
+	// nvlint:guardedby mu
+	v uint64
+}
+
+// goodAdd locks around the access.
+func (c *counter) goodAdd(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// goodDeferred holds the lock to return: a deferred unlock does not release
+// at the defer site.
+func (c *counter) goodDeferred(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.names = append(c.names, name)
+	return c.n
+}
+
+// badBare is the seeded bug: the field is touched with no lock held.
+func (c *counter) badBare() int {
+	return c.n // want "field n is guarded by c.mu which is not held here"
+}
+
+// badAfterUnlock touches the field after releasing.
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	n += c.n // want "field n is guarded by c.mu which is not held here"
+	return n
+}
+
+// badOneBranch locks on only one path; the merge drops the lock.
+func (c *counter) badOneBranch(lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+	c.n++ // want "field n is guarded by c.mu which is not held here"
+	if lock {
+		c.mu.Unlock()
+	}
+}
+
+// freeAccess touches only the unguarded field: no lock needed.
+func (c *counter) freeAccess() int {
+	return c.free
+}
+
+// lockedHelper documents the caller-holds-the-lock contract: the analyzer
+// starts it with c.mu held.
+//
+// nvlint:locked mu
+func (c *counter) lockedHelper() {
+	c.n++
+	c.names = c.names[:0]
+}
+
+// unannotatedHelper has no such contract and is flagged.
+func (c *counter) unannotatedHelper() {
+	c.n++ // want "field n is guarded by c.mu which is not held here"
+}
+
+// goodRead uses the read lock; RLock counts as holding mu.
+func (b *rwbox) goodRead() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+// badRead drops the read lock first.
+func (b *rwbox) badRead() uint64 {
+	b.mu.RLock()
+	b.mu.RUnlock()
+	return b.v // want "field v is guarded by b.mu which is not held here"
+}
+
+// literalConstruction never trips the check: a composite literal names
+// fields by key, not by selector.
+func literalConstruction() *counter {
+	return &counter{n: 1, names: []string{"seed"}}
+}

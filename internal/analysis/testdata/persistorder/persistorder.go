@@ -1,0 +1,261 @@
+// Package potest exercises nvlint's persistorder analyzer: nvlint:durable
+// functions must write → fsync → rename → fsync parent dir on every path.
+package potest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+)
+
+// syncDir is the parent-directory fsync helper shape the analyzer
+// recognises by name.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// goodSeal follows the full discipline: write, fsync, close, rename,
+// parent-directory fsync.
+//
+// nvlint:durable
+func goodSeal(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// renameUnsynced is the seeded ordering bug: the temp file is renamed into
+// place while its data has never been fsynced.
+//
+// nvlint:durable
+func renameUnsynced(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "os.Rename while f is written but not fsynced"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// renameNoDirSync is the second seeded bug: the rename itself is never made
+// durable — no parent-directory fsync before the success return.
+//
+// nvlint:durable
+func renameNoDirSync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "rename is published without an fsync of the parent directory"
+		return err
+	}
+	return nil
+}
+
+// bufferedGood writes through a bufio.Writer: the alias is followed, and
+// Flush + Sync restore the discipline.
+//
+// nvlint:durable
+func bufferedGood(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "ckpt.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "ckpt")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// bufferedUnflushed renames while writes are only in the bufio buffer — the
+// alias makes the underlying handle written, and it is never fsynced.
+//
+// nvlint:durable
+func bufferedUnflushed(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "ckpt.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "ckpt")); err != nil { // want "os.Rename while f is written but not fsynced"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// dirHandleSync discharges the rename obligation with the
+// open-the-directory-and-sync idiom instead of the named helper.
+//
+// nvlint:durable
+func dirHandleSync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "m.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "m")); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// syncOnOneBranchOnly fsyncs only when the payload is large; the small-path
+// merge leaves the handle written at the rename.
+//
+// nvlint:durable
+func syncOnOneBranchOnly(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if len(data) > 4096 {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "os.Rename while f is written but not fsynced"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// escapeAssumedWritten hands the handle to an opaque helper; the analyzer
+// assumes the helper wrote, so the rename without a later fsync is flagged.
+//
+// nvlint:durable
+func escapeAssumedWritten(dir string, fill func(*os.File)) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fill(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "os.Rename while f is written but not fsynced"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// notAnnotated has the same bugs as renameUnsynced but no durable
+// directive in its doc comment: the analyzer must stay silent.
+func notAnnotated(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil {
+		return err
+	}
+	return nil
+}

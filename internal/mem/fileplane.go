@@ -211,6 +211,8 @@ func (p *FilePlane) Apply(addr uint64, words []uint64) {
 // new manifest (temp + rename + parent-directory fsync), then open the
 // next segment. Obsolete segments and checkpoints are removed only after
 // the manifest that drops them is durable.
+//
+// nvlint:durable
 func (p *FilePlane) SealEpoch(epoch uint64) {
 	if p.err != nil {
 		return
@@ -284,6 +286,8 @@ func (p *FilePlane) SealEpoch(epoch uint64) {
 // [magic, version, epoch, nwords, check], sorted (addr, word) pairs, one
 // trailing running digest word. Written to a temp name, fsynced, renamed,
 // parent directory fsynced.
+//
+// nvlint:durable
 func (p *FilePlane) writeCheckpoint(seq int) error {
 	name := CheckpointFileName(seq)
 	tmp := filepath.Join(p.dir, name+".tmp")
@@ -335,6 +339,8 @@ func (p *FilePlane) writeCheckpoint(seq int) error {
 // MANIFEST, fsync the parent directory so the rename itself is durable —
 // a kill -9 at any point leaves either the old or the new manifest,
 // never a torn one.
+//
+// nvlint:durable
 func (p *FilePlane) writeManifest(epoch uint64) error {
 	words := []uint64{
 		FileManifestMagic,

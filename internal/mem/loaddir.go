@@ -243,7 +243,7 @@ loop:
 			}
 			body, err := readWords(r, int(n)+1)
 			if err != nil {
-				torn("torn delta record body")
+				torn(fmt.Sprintf("torn delta record body: %v", err))
 				break loop
 			}
 			rec := append(header, body...)
@@ -258,7 +258,7 @@ loop:
 		case FileSealMagic:
 			body, err := readWords(r, 1)
 			if err != nil {
-				torn("torn seal record")
+				torn(fmt.Sprintf("torn seal record: %v", err))
 				break loop
 			}
 			rec := append(header, body...)
@@ -272,8 +272,9 @@ loop:
 			}
 			sawSeal = true
 			// A seal record terminates the segment; trailing bytes would
-			// mean the file was appended to after sealing.
-			if _, err := r.Peek(1); err == nil {
+			// mean the file was appended to after sealing. A Peek error is
+			// the expected clean EOF and carries no information.
+			if _, err := r.Peek(1); err == nil { //nvlint:allow errlatch a Peek error here is the expected clean EOF
 				torn("bytes after seal record")
 			}
 			break loop
@@ -305,7 +306,7 @@ func replayCheckpoint(path string, words map[uint64]uint64) error {
 	}
 	header, err := readWords(r, 5)
 	if err != nil {
-		return fail("torn header")
+		return fail(fmt.Sprintf("torn header: %v", err))
 	}
 	if !ValidRecord(header, FileCkptMagic) {
 		return fail("header checksum mismatch")
@@ -321,7 +322,7 @@ func replayCheckpoint(path string, words map[uint64]uint64) error {
 	for i := uint64(0); i < n; i++ {
 		pair, err := readWords(r, 2)
 		if err != nil {
-			return fail("torn body")
+			return fail(fmt.Sprintf("torn body: %v", err))
 		}
 		if pair[0]&7 != 0 {
 			return fail("misaligned word address")
@@ -331,12 +332,13 @@ func replayCheckpoint(path string, words map[uint64]uint64) error {
 	}
 	trailer, err := readWords(r, 1)
 	if err != nil {
-		return fail("missing digest")
+		return fail(fmt.Sprintf("missing digest: %v", err))
 	}
 	if trailer[0] != digest {
 		return fail("digest mismatch")
 	}
-	if _, err := r.Peek(1); err == nil {
+	// A Peek error here is the expected clean EOF and carries no information.
+	if _, err := r.Peek(1); err == nil { //nvlint:allow errlatch a Peek error here is the expected clean EOF
 		return fail("bytes after digest")
 	}
 	return f.Close()

@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -23,12 +24,18 @@ func (Discard) Record(Event) {}
 
 // JSONLSink streams events to w in the canonical JSONL encoding. Writes
 // are line-buffered through an internal scratch slice; the first write
-// error latches and suppresses further output.
+// error latches and suppresses further output. Safe for concurrent use:
+// Record and Err take the sink mutex (the underlying writer then needs no
+// locking of its own for lines to stay whole).
 type JSONLSink struct {
-	w    io.Writer
-	cell string
-	buf  []byte
-	err  error
+	w    io.Writer // immutable after NewJSONLSink
+	cell string    // immutable after NewJSONLSink
+
+	mu sync.Mutex
+	// nvlint:guardedby mu
+	buf []byte
+	// nvlint:guardedby mu
+	err error
 }
 
 // NewJSONLSink builds a sink writing to w, labelling every line with the
@@ -39,6 +46,8 @@ func NewJSONLSink(w io.Writer, cell string) *JSONLSink {
 
 // Record implements Sink.
 func (s *JSONLSink) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
@@ -47,7 +56,11 @@ func (s *JSONLSink) Record(e Event) {
 }
 
 // Err returns the first write error, if any.
-func (s *JSONLSink) Err() error { return s.err }
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
 
 // EpochRoll is one epoch's rollup in the per-epoch timeline.
 type EpochRoll struct {
@@ -83,11 +96,19 @@ type walkMark struct {
 // Aggregator folds the event stream into per-epoch rollups plus a
 // log2-bucketed histogram of bank-queue depths. It is deterministic: the
 // rollup depends only on the event order, and Timeline sorts by epoch.
+// Record, Timeline and Merge take the aggregator mutex, so one aggregator
+// can sink a concurrently shared bus; the exported histograms are read
+// directly by reporting code and must only be touched after recording has
+// quiesced.
 type Aggregator struct {
+	mu sync.Mutex
+	// nvlint:guardedby mu
 	rolls map[uint64]*EpochRoll
+	// nvlint:guardedby mu
 	walks map[int]walkMark
 	// last is the newest epoch observed so far; epoch-less device events
 	// are attributed to it (they were issued while it was current).
+	// nvlint:guardedby mu
 	last uint64
 	// BankDepth observes every NVM enqueue's bank backlog in cycles.
 	BankDepth stats.Histogram
@@ -103,6 +124,9 @@ func NewAggregator() *Aggregator {
 	}
 }
 
+// roll returns (creating on demand) the rollup for one epoch.
+//
+// nvlint:locked mu
 func (a *Aggregator) roll(epoch uint64) *EpochRoll {
 	r := a.rolls[epoch]
 	if r == nil {
@@ -114,6 +138,8 @@ func (a *Aggregator) roll(epoch uint64) *EpochRoll {
 
 // Record implements Sink.
 func (a *Aggregator) Record(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if e.Epoch > a.last {
 		a.last = e.Epoch
 	}
@@ -154,6 +180,8 @@ func (a *Aggregator) Record(e Event) {
 
 // Timeline returns the per-epoch rollups sorted by epoch.
 func (a *Aggregator) Timeline() []EpochRoll {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	epochs := make([]uint64, 0, len(a.rolls))
 	for e := range a.rolls {
 		epochs = append(epochs, e)
@@ -169,8 +197,14 @@ func (a *Aggregator) Timeline() []EpochRoll {
 // Merge folds another aggregator's rollups into a, epoch by epoch in
 // ascending order so merged state is independent of scheduling. Transient
 // walk marks are not merged: streams are only merged run-to-run, after
-// every walk completed.
+// every walk completed. Merge locks the receiver then the argument; the
+// sweep engine merges cells from a single goroutine, so the ordering
+// cannot deadlock against a concurrent reverse merge.
 func (a *Aggregator) Merge(other *Aggregator) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
 	epochs := make([]uint64, 0, len(other.rolls))
 	for e := range other.rolls {
 		epochs = append(epochs, e)

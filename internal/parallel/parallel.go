@@ -21,8 +21,40 @@ package parallel
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
+
+// cursor hands out cell indices to workers and carries the early-stop
+// signal. The fields are mutex-guarded (and nvlint:guardedby-annotated)
+// rather than atomics so the claim of an index and the stop check are one
+// critical section: a worker can never claim a cell after stop() returned.
+type cursor struct {
+	mu sync.Mutex
+	// nvlint:guardedby mu
+	next int
+	// nvlint:guardedby mu
+	stopped bool
+}
+
+// take claims the next cell index. ok is false when the sweep is exhausted
+// or stopped; the worker exits without computing anything.
+func (c *cursor) take(n int) (idx int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || c.next >= n {
+		return 0, false
+	}
+	idx = c.next
+	c.next++
+	return idx, true
+}
+
+// stop prevents any further take from succeeding. Cells already claimed
+// finish normally and are discarded by the consumer loop.
+func (c *cursor) stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+}
 
 // Jobs normalises a -j flag value: non-positive means "one worker per
 // available CPU" (runtime.GOMAXPROCS(0)), anything else is taken as given.
@@ -53,15 +85,15 @@ func Map[T any](jobs, n int, cell func(idx int) T) []T {
 		}
 		return out
 	}
-	var next atomic.Int64
+	var cur cursor
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				i, ok := cur.take(n)
+				if !ok {
 					return
 				}
 				out[i] = cell(i)
@@ -102,16 +134,15 @@ func ForEachOrdered[T any](jobs, n int, cell func(idx int) T, consume func(idx i
 		v   T
 	}
 	ch := make(chan item, jobs)
-	var next atomic.Int64
-	var stop atomic.Bool
+	var cur cursor
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
 		go func() {
 			defer wg.Done()
-			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+			for {
+				i, ok := cur.take(n)
+				if !ok {
 					return
 				}
 				ch <- item{idx: i, v: cell(i)}
@@ -141,7 +172,7 @@ func ForEachOrdered[T any](jobs, n int, cell func(idx int) T, consume func(idx i
 			delete(pending, nextOut)
 			if !consume(nextOut, v) {
 				stopped = true
-				stop.Store(true)
+				cur.stop()
 				break
 			}
 			nextOut++

@@ -116,7 +116,10 @@ func Run(bin string, args []string, p Params, killAt int) (*Result, error) {
 //
 // The salvage report is returned in all cases so callers can archive it.
 func CheckDir(dir string, durable uint64, golden map[uint64]map[uint64]uint64) (*recovery.SalvageReport, error) {
-	out, rep, err := recovery.SalvageDir(dir)
+	// A refusal with nothing acknowledged durable is the expected outcome
+	// for a store killed before its first seal, so that branch drops the
+	// typed refusal on purpose: it carries no extra signal for the caller.
+	out, rep, err := recovery.SalvageDir(dir) //nvlint:allow errlatch refusal with durable==0 is the expected outcome, not a failure
 	if err != nil {
 		if durable == 0 && rep.NonEmpty() {
 			return rep, nil

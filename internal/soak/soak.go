@@ -174,6 +174,8 @@ func writerConfig(p Params) sim.Config {
 //
 // It is also usable in-process (hit == nil): the corruption tests build a
 // complete store this way before mutilating its files.
+//
+// nvlint:durable
 func WriteStore(p Params, hit func(point string, epoch uint64)) error {
 	cfg := writerConfig(p)
 	nvm := mem.NewNVM(&cfg)
