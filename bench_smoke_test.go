@@ -49,6 +49,7 @@ func TestBenchmarkSmoke(t *testing.T) {
 		{"AblateSuperBlock", BenchmarkAblateSuperBlock},
 		{"Schemes", BenchmarkSchemes},
 		{"FileSeal", BenchmarkFileSeal},
+		{"FileSealFaulted", BenchmarkFileSealFaulted},
 		{"WrapAround", BenchmarkWrapAround},
 	}
 	for _, bench := range benches {

@@ -12,6 +12,7 @@
 //	nvcheck -seed 17 -events ev.jsonl      # single trace + its JSONL event stream
 //	nvcheck -validate-events ev.jsonl      # schema-check a captured stream
 //	nvcheck -crashsoak -loops 30           # kill -9 crash-restart soak on a file store
+//	nvcheck -diskfaults -dseeds 3          # disk-fault soak: classes x seeds x crash cuts
 //
 // The crash soak is the one mode that leaves the process: each loop
 // re-execs this binary as a child writer streaming epochs into a
@@ -66,6 +67,11 @@ type options struct {
 	store     string // crash-soak store base directory ("": a temp dir)
 	reports   string // where failing salvage reports are archived
 
+	diskfaults bool   // disk-fault soak: classes x seeds x crash cuts over an in-memory store
+	dclasses   string // comma-separated disk fault classes
+	dseeds     int    // seeds per disk fault class
+	dcuts      int    // crash cut points per (class, seed) regime
+
 	cpuProfile string // write a CPU profile here
 	memProfile string // write a heap profile here at exit
 	traceOut   string // write a runtime execution trace here
@@ -100,6 +106,10 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.IntVar(&o.loops, "loops", 30, "crash-soak iterations")
 	fs.StringVar(&o.store, "store", "", "crash-soak store base directory (default: a temp dir, removed afterwards)")
 	fs.StringVar(&o.reports, "reports", "crash-reports", "directory for salvage reports of failing crash-soak loops")
+	fs.BoolVar(&o.diskfaults, "diskfaults", false, "disk-fault soak: sweep disk fault classes x seeds x crash cuts over a fault-injecting in-memory store")
+	fs.StringVar(&o.dclasses, "dclasses", strings.Join(fault.DiskClasses, ","), "disk fault classes for the -diskfaults soak")
+	fs.IntVar(&o.dseeds, "dseeds", 3, "seeds per disk fault class in the -diskfaults soak")
+	fs.IntVar(&o.dcuts, "dcuts", 8, "crash cut points per (class, seed) regime in the -diskfaults soak")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file (taken at exit)")
 	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
@@ -146,6 +156,22 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	}
 	if o.crashsoak && o.loops <= 0 {
 		return options{}, fmt.Errorf("nvcheck: -loops must be positive, got %d", o.loops)
+	}
+	if o.diskfaults && (o.faults || o.single || o.vevents != "" || o.crashsoak) {
+		return options{}, fmt.Errorf("nvcheck: -diskfaults is a standalone mode")
+	}
+	if o.diskfaults {
+		if o.dseeds <= 0 {
+			return options{}, fmt.Errorf("nvcheck: -dseeds must be positive, got %d", o.dseeds)
+		}
+		if o.dcuts < 1 {
+			return options{}, fmt.Errorf("nvcheck: -dcuts must be at least 1, got %d", o.dcuts)
+		}
+		for _, c := range strings.Split(o.dclasses, ",") {
+			if c == "" || !fault.ValidDiskClass(c) {
+				return options{}, fmt.Errorf("nvcheck: unknown disk fault class %q in -dclasses", c)
+			}
+		}
 	}
 	o.p.Seed = o.seed
 	o.p.Walker = !*nowalker
@@ -235,6 +261,79 @@ func runFaults(ctx context.Context, o options, w io.Writer) error {
 	return nil
 }
 
+// diskTally accumulates disk-fault soak results across regimes, mirroring
+// faultTally: a partial flush on interrupt or divergence still reports
+// everything completed so far.
+type diskTally struct {
+	regimes, cells, restored, refused, wounded, faults int
+}
+
+func (dt *diskTally) add(res diffcheck.DiskResult) {
+	dt.regimes++
+	dt.cells += len(res.Points)
+	dt.restored += res.Restored
+	dt.refused += res.Refusals
+	dt.wounded += res.Wounded
+	dt.faults += res.Faults
+}
+
+func (dt *diskTally) flush(w io.Writer, elapsed time.Duration) {
+	fmt.Fprintf(w, "disk-fault soak: %d regimes, %d cells (%d restored, %d refused, %d wounded planes), %d disk faults injected, 0 silent corruptions (%v)\n",
+		dt.regimes, dt.cells, dt.restored, dt.refused, dt.wounded, dt.faults, elapsed.Round(time.Millisecond))
+}
+
+// runDiskFaults executes the disk-fault grid: every configured class x
+// dseeds seeds, each swept across dcuts crash cut points plus the no-cut
+// cell. Regimes fan over -j workers and merge in grid order, so the report
+// is identical for every -j. A diverging cell archives its salvage report
+// (when one exists) under -reports, flushes the tally, and fails the run.
+func runDiskFaults(ctx context.Context, o options, w io.Writer) error {
+	start := time.Now()
+	var dt diskTally
+	classes := strings.Split(o.dclasses, ",")
+	type cell struct {
+		res diffcheck.DiskResult
+		d   *diffcheck.DiskDivergence
+	}
+	var ferr error
+	parallel.ForEachOrdered(o.jobs, len(classes)*o.dseeds, func(i int) cell {
+		p := diffcheck.DiskParams{
+			Classes: []string{classes[i/o.dseeds]},
+			Seeds:   []int64{o.seed + int64(i%o.dseeds)},
+			Cuts:    o.dcuts,
+		}
+		res, d := diffcheck.RunDiskFaults(p, 1)
+		return cell{res, d}
+	}, func(i int, c cell) bool {
+		class := classes[i/o.dseeds]
+		if err := ctx.Err(); err != nil {
+			dt.flush(w, time.Since(start))
+			ferr = fmt.Errorf("interrupted after %d regimes: %w", dt.regimes, err)
+			return false
+		}
+		if c.d != nil {
+			fmt.Fprintln(w, c.d.Error())
+			if c.d.Report != nil {
+				archiveReport(o.reports, i, c.d.Report)
+			}
+			dt.flush(w, time.Since(start))
+			ferr = fmt.Errorf("disk-fault regime class=%s seed=%d diverged", class, c.d.Seed)
+			return false
+		}
+		dt.add(c.res)
+		if o.every > 0 && i%o.dseeds == o.dseeds-1 {
+			fmt.Fprintf(w, "disk class %s ok (%d cells so far, %v)\n",
+				class, dt.cells, time.Since(start).Round(time.Millisecond))
+		}
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	dt.flush(w, time.Since(start))
+	return nil
+}
+
 // archiveReport writes a failing loop's salvage report under the reports
 // directory so CI can upload it as an artifact.
 func archiveReport(dir string, loop int, rep interface{ JSON() ([]byte, error) }) {
@@ -299,8 +398,16 @@ func runCrashSoak(ctx context.Context, o options, w io.Writer) error {
 
 	rng := sim.NewRNG(o.seed)
 	restored, refused := 0, 0
+	// Any mid-run failure — interrupt, a child dying (ENOSPC included), a
+	// salvage contract violation — flushes the partial tally before the
+	// non-zero exit, so an aborted soak still reports what it proved.
+	flush := func() {
+		fmt.Fprintf(w, "crash soak aborted: %d/%d loops completed (%d restored, %d justified refusals, %v)\n",
+			restored+refused, o.loops, restored, refused, time.Since(start).Round(time.Millisecond))
+	}
 	for i := 0; i < o.loops; i++ {
 		if err := ctx.Err(); err != nil {
+			flush()
 			return fmt.Errorf("nvcheck: interrupted after %d loops: %w", i, err)
 		}
 		killAt := int(rng.Uint64n(uint64(total)))
@@ -308,11 +415,18 @@ func runCrashSoak(ctx context.Context, o options, w io.Writer) error {
 		lp := soak.DefaultParams(dir, o.seed+int64(i)+1)
 		res, err := soak.Run(bin, nil, lp, killAt)
 		if err != nil {
+			flush()
+			if soak.IsNoSpace(err) {
+				// The typed out-of-space path: the environment, not the store,
+				// is to blame, but the run still fails loudly.
+				return fmt.Errorf("nvcheck: loop %d ran out of disk space: %w", i, err)
+			}
 			return fmt.Errorf("nvcheck: loop %d: %w", i, err)
 		}
 		rep, err := soak.CheckDir(dir, res.DurableEpoch, soak.Golden(lp))
 		if err != nil {
 			archiveReport(o.reports, i, rep)
+			flush()
 			return fmt.Errorf("nvcheck: loop %d (killed at %d: %s, epoch %d; durable %d): %w",
 				i, res.KillIndex, res.KillPoint, res.KillEpoch, res.DurableEpoch, err)
 		}
@@ -322,6 +436,7 @@ func runCrashSoak(ctx context.Context, o options, w io.Writer) error {
 			restored++
 		}
 		if err := os.RemoveAll(dir); err != nil {
+			flush()
 			return fmt.Errorf("nvcheck: loop %d cleanup: %w", i, err)
 		}
 		if o.every > 0 && (i+1)%o.every == 0 {
@@ -344,6 +459,9 @@ func run(ctx context.Context, o options, w io.Writer) error {
 	}
 	if o.crashsoak {
 		return runCrashSoak(ctx, o, w)
+	}
+	if o.diskfaults {
+		return runDiskFaults(ctx, o, w)
 	}
 	if o.faults {
 		return runFaults(ctx, o, w)

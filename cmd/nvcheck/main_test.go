@@ -90,6 +90,44 @@ func TestFaultSoakMode(t *testing.T) {
 	}
 }
 
+// TestDiskFaultSoakMode drives the -diskfaults grid end to end: every
+// configured class must pass its salvage-or-refuse sweep and the tally line
+// must report zero silent corruptions.
+func TestDiskFaultSoakMode(t *testing.T) {
+	o, err := parseFlags([]string{"-diskfaults", "-dclasses", "crash,fsyncgate", "-dseeds", "2", "-dcuts", "3", "-seed", "5", "-j", "4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("disk-fault soak failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"disk class crash ok", "disk class fsyncgate ok",
+		"disk-fault soak: 4 regimes", "0 silent corruptions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDiskFaultSoakInterrupt: a cancelled disk-fault soak flushes its
+// partial tally and exits non-zero.
+func TestDiskFaultSoakInterrupt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o, err := parseFlags([]string{"-diskfaults", "-dclasses", "crash", "-dseeds", "1", "-dcuts", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(ctx, o, &out); err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted disk-fault soak must error, got %v", err)
+	}
+	if !strings.Contains(out.String(), "disk-fault soak: 0 regimes") {
+		t.Fatalf("partial tally not flushed:\n%s", out.String())
+	}
+}
+
 // TestInterruptFlushesPartialResults: a cancelled soak must flush its tally
 // so far and exit non-zero rather than vanishing mid-run.
 func TestInterruptFlushesPartialResults(t *testing.T) {
@@ -222,5 +260,23 @@ func TestParseFlagErrors(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-validate-events", "x.jsonl", "-cores", "4"}, io.Discard); err == nil {
 		t.Fatal("-validate-events combined with trace flags accepted")
+	}
+	if _, err := parseFlags([]string{"-diskfaults", "-dclasses", "eio,melt"}, io.Discard); err == nil {
+		t.Fatal("unknown disk fault class accepted")
+	}
+	if _, err := parseFlags([]string{"-diskfaults", "-dseeds", "0"}, io.Discard); err == nil {
+		t.Fatal("zero dseeds accepted")
+	}
+	if _, err := parseFlags([]string{"-diskfaults", "-dcuts", "0"}, io.Discard); err == nil {
+		t.Fatal("zero dcuts accepted")
+	}
+	if _, err := parseFlags([]string{"-diskfaults", "-faults"}, io.Discard); err == nil {
+		t.Fatal("-diskfaults combined with -faults accepted")
+	}
+	if _, err := parseFlags([]string{"-diskfaults", "-crashsoak"}, io.Discard); err == nil {
+		t.Fatal("-diskfaults combined with -crashsoak accepted")
+	}
+	if _, err := parseFlags([]string{"-diskfaults", "-cores", "4"}, io.Discard); err == nil {
+		t.Fatal("-diskfaults combined with single-trace flags accepted")
 	}
 }

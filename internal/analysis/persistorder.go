@@ -15,13 +15,17 @@ package analysis
 // advanced by operations the analyzer recognises (handles are tracked by
 // their rendered expression, so fields like p.seg work alongside locals):
 //
-//   - os.OpenFile / os.Create / os.Open results start a handle at clean;
+//   - os.OpenFile / os.Create / os.Open results start a handle at clean, as
+//     do Open/Create/CreateExcl/OpenFile method calls on a VFS value (any
+//     expression whose static type is named FS or *…FS — the fault.FS seam);
 //   - a Write/WriteString/WriteAt/Flush call on a handle, a write through a
-//     bufio.Writer wrapping it (bufio.NewWriter aliases are followed), or
-//     the handle escaping into any unrecognised call marks it written;
+//     bufio.Writer wrapping it (bufio.NewWriter aliases are followed, as is
+//     a struct literal capturing the handle — the retryFile adapter shape),
+//     or the handle escaping into any unrecognised call marks it written;
 //   - Sync() moves it to synced; Close() preserves whatever state it had —
 //     closing does not sync, so written-then-closed is still unpublishable;
-//   - os.Rename demands every tracked handle be clean or synced: a handle
+//   - os.Rename — or Rename on a VFS value — demands every tracked handle
+//     be clean or synced: a handle
 //     still written means data is being published before it is durable.
 //     The rename also arms a pending-rename obligation that only a
 //     parent-directory fsync discharges: a call to a function named
@@ -36,6 +40,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // PersistOrder is the durability-ordering analyzer.
@@ -268,10 +273,31 @@ func (po *persistOrder) applyNode(n ast.Node, f poFact) poFact {
 	return out
 }
 
-// applyAssign tracks handle creation (`f, err := os.OpenFile(...)`) and
-// writer aliasing (`w := bufio.NewWriter(f)`).
+// applyAssign tracks handle creation (`f, err := os.OpenFile(...)` and the
+// VFS form `f, err := p.fsys.Create(...)`), writer aliasing
+// (`w := bufio.NewWriter(f)`), and adapter aliasing through a struct
+// literal capturing a tracked handle (`rf := &retryFile{f: f, p: p}`).
 func (po *persistOrder) applyAssign(as *ast.AssignStmt, f poFact) poFact {
 	if len(as.Rhs) != 1 {
+		return f
+	}
+	if lit := compositeLit(as.Rhs[0]); lit != nil && len(as.Lhs) == 1 {
+		dst := exprKey(as.Lhs[0])
+		if dst == "" || dst == "_" {
+			return f
+		}
+		for _, elt := range lit.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			src := f.resolve(exprKey(v))
+			if _, tracked := f.handles[src]; tracked {
+				out := f.clone()
+				out.aliases[dst] = src
+				return out
+			}
+		}
 		return f
 	}
 	call, ok := as.Rhs[0].(*ast.CallExpr)
@@ -280,7 +306,8 @@ func (po *persistOrder) applyAssign(as *ast.AssignStmt, f poFact) poFact {
 	}
 	pkg, name := calleePkgFunc(po.pass, call)
 	switch {
-	case pkg == "os" && (name == "OpenFile" || name == "Create" || name == "Open"):
+	case pkg == "os" && (name == "OpenFile" || name == "Create" || name == "Open"),
+		isVFSCall(po.pass, call, "Open", "OpenFile", "Create", "CreateExcl"):
 		if len(as.Lhs) >= 1 {
 			if key := exprKey(as.Lhs[0]); key != "" && key != "_" {
 				out := f.clone()
@@ -302,29 +329,40 @@ func (po *persistOrder) applyAssign(as *ast.AssignStmt, f poFact) poFact {
 	return f
 }
 
+// compositeLit unwraps `T{...}` and `&T{...}` assignment sources.
+func compositeLit(e ast.Expr) *ast.CompositeLit {
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ue.X
+	}
+	if lit, ok := e.(*ast.CompositeLit); ok {
+		return lit
+	}
+	return nil
+}
+
 // applyCall advances the state machine for one call expression.
 func (po *persistOrder) applyCall(call *ast.CallExpr, f poFact) poFact {
 	pkg, name := calleePkgFunc(po.pass, call)
-	switch pkg {
-	case "os":
-		if name == "Rename" {
-			out := f.clone()
-			if po.report && !f.aborted {
-				var dirty []string
-				for h, st := range f.handles {
-					if st == hWritten {
-						dirty = append(dirty, h)
-					}
-				}
-				sort.Strings(dirty)
-				for _, h := range dirty {
-					po.pass.Reportf(call.Pos(), "os.Rename while %s is written but not fsynced; sync before publishing (rename makes un-fsynced data reachable)", h)
+	if (pkg == "os" && name == "Rename") || isVFSCall(po.pass, call, "Rename") {
+		out := f.clone()
+		if po.report && !f.aborted {
+			var dirty []string
+			for h, st := range f.handles {
+				if st == hWritten {
+					dirty = append(dirty, h)
 				}
 			}
-			out.pendingRename = true
-			out.renamePos = call
-			return out
+			sort.Strings(dirty)
+			for _, h := range dirty {
+				po.pass.Reportf(call.Pos(), "rename while %s is written but not fsynced; sync before publishing (rename makes un-fsynced data reachable)", h)
+			}
 		}
+		out.pendingRename = true
+		out.renamePos = call
+		return out
+	}
+	switch pkg {
+	case "os":
 		if name == "OpenFile" || name == "Create" || name == "Open" {
 			return f // handle creation is handled at the assignment
 		}
@@ -332,6 +370,9 @@ func (po *persistOrder) applyCall(call *ast.CallExpr, f poFact) poFact {
 		if name == "NewWriter" || name == "NewWriterSize" {
 			return f // aliasing, not a write; handled at the assignment
 		}
+	}
+	if isVFSCall(po.pass, call, "Open", "OpenFile", "Create", "CreateExcl") {
+		return f // handle creation is handled at the assignment
 	}
 
 	// Method calls on tracked handles / writer aliases.
@@ -397,6 +438,43 @@ func isSyncDirCall(call *ast.CallExpr) bool {
 		return fun.Sel.Name == "SyncDir" || fun.Sel.Name == "syncDir"
 	}
 	return false
+}
+
+// isVFSCall reports whether call is a method call with one of the given
+// names on a VFS value: an expression whose static type (pointer stripped)
+// is a named type called FS or ending in FS — the fault.FS seam and its
+// implementations. Matching on the type name rather than the package path
+// keeps the analyzer decoupled from the seam's import path (and lets the
+// fixture tests declare their own FS).
+func isVFSCall(pass *Pass, call *ast.CallExpr, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "FS" || strings.HasSuffix(name, "FS")
 }
 
 // calleePkgFunc resolves a call to (package path, function name) when the

@@ -66,7 +66,7 @@ func renameUnsynced(dir string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "os.Rename while f is written but not fsynced"
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "rename while f is written but not fsynced"
 		return err
 	}
 	return syncDir(dir)
@@ -149,7 +149,7 @@ func bufferedUnflushed(dir string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "ckpt")); err != nil { // want "os.Rename while f is written but not fsynced"
+	if err := os.Rename(tmp, filepath.Join(dir, "ckpt")); err != nil { // want "rename while f is written but not fsynced"
 		return err
 	}
 	return syncDir(dir)
@@ -213,7 +213,7 @@ func syncOnOneBranchOnly(dir string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "os.Rename while f is written but not fsynced"
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "rename while f is written but not fsynced"
 		return err
 	}
 	return syncDir(dir)
@@ -233,10 +233,144 @@ func escapeAssumedWritten(dir string, fill func(*os.File)) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "os.Rename while f is written but not fsynced"
+	if err := os.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "rename while f is written but not fsynced"
 		return err
 	}
 	return syncDir(dir)
+}
+
+// FS is a local copy of the VFS seam shape: the analyzer recognises
+// Create/CreateExcl/Open/Rename/SyncDir method calls by the receiver's
+// type *name*, so this fixture needs no import of the real seam.
+type FS interface {
+	Open(name string) (handleFile, error)
+	Create(name string) (handleFile, error)
+	CreateExcl(name string) (handleFile, error)
+	Rename(oldpath, newpath string) error
+	SyncDir(dir string) error
+}
+
+type handleFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// wrapFile is the retryFile adapter shape: a struct literal capturing a
+// tracked handle aliases it, so writes through the wrapper dirty the
+// handle and Sync through it discharges.
+type wrapFile struct {
+	f     handleFile
+	extra int
+}
+
+func (w *wrapFile) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w *wrapFile) Sync() error                 { return w.f.Sync() }
+func (w *wrapFile) Close() error                { return w.f.Close() }
+
+// vfsGoodSeal follows the full discipline over the VFS seam: handle from
+// fsys.Create, writes through the wrapper adapter, Sync, Close, fsys.Rename,
+// fsys.SyncDir.
+//
+// nvlint:durable
+func vfsGoodSeal(fsys FS, dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	rf := &wrapFile{f: f}
+	if _, err := rf.Write(data); err != nil {
+		_ = rf.Close()
+		return err
+	}
+	if err := rf.Sync(); err != nil {
+		_ = rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, "seal")); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// vfsRenameUnsynced is the seeded VFS ordering bug: data written through
+// the adapter is published by fsys.Rename without ever being fsynced.
+//
+// nvlint:durable
+func vfsRenameUnsynced(fsys FS, dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	rf := &wrapFile{f: f}
+	if _, err := rf.Write(data); err != nil {
+		_ = rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "rename while f is written but not fsynced"
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// vfsRenameNoDirSync publishes over the seam but never fsyncs the parent
+// directory: the rename obligation survives to the success return.
+//
+// nvlint:durable
+func vfsRenameNoDirSync(fsys FS, dir string, data []byte) error {
+	tmp := filepath.Join(dir, "seal.tmp")
+	f, err := fsys.CreateExcl(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, "seal")); err != nil { // want "rename is published without an fsync of the parent directory"
+		return err
+	}
+	return nil
+}
+
+// vfsBufferedUnflushed writes through bufio over the adapter over the VFS
+// handle; the alias chain is followed and the unflushed rename is flagged.
+//
+// nvlint:durable
+func vfsBufferedUnflushed(fsys FS, dir string, data []byte) error {
+	tmp := filepath.Join(dir, "ckpt.tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	rf := &wrapFile{f: f}
+	w := bufio.NewWriter(rf)
+	if _, err := w.Write(data); err != nil {
+		_ = rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, "ckpt")); err != nil { // want "rename while f is written but not fsynced"
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // notAnnotated has the same bugs as renameUnsynced but no durable

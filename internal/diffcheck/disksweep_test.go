@@ -1,0 +1,151 @@
+package diffcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/recovery"
+	"repro/internal/soak"
+)
+
+// TestDiskSweepContract runs the acceptance grid — every disk fault class
+// x 8 crash cut points x 3 seeds — and requires every cell to satisfy
+// salvage-or-refuse: zero silent corruptions, zero untyped errors, zero
+// durable epochs lost.
+func TestDiskSweepContract(t *testing.T) {
+	p := DefaultDiskParams()
+	res, d := RunDiskFaults(p, 4)
+	if d != nil {
+		t.Fatalf("contract violation: %v", d)
+	}
+	want := len(p.Classes) * len(p.Seeds) * (p.Cuts + 1)
+	if len(res.Points) != want {
+		t.Fatalf("swept %d cells, want %d", len(res.Points), want)
+	}
+	if res.Restored == 0 {
+		t.Fatal("no cell restored anything; the grid is vacuous")
+	}
+	if res.Refusals == 0 {
+		t.Fatal("no cell refused; early-crash cells should refuse with durable == 0")
+	}
+	if res.Wounded == 0 {
+		t.Fatal("no cell wounded the plane; the fault rates are too low to test degradation")
+	}
+	if res.Faults == 0 {
+		t.Fatal("no faults injected across the whole grid")
+	}
+	// Refusals are legitimate only before anything is durable; the sweep
+	// enforces this per cell, recheck the aggregate for drift.
+	for _, pt := range res.Points {
+		if pt.Refused && pt.DurableEpoch > 0 {
+			t.Fatalf("cell %+v refused after epoch %d was durable", pt, pt.DurableEpoch)
+		}
+		if !pt.Refused && pt.RestoredEpoch < pt.DurableEpoch {
+			t.Fatalf("cell %+v restored below its durable epoch", pt)
+		}
+	}
+}
+
+// TestDiskSweepDeterminism: the aggregate — including the concatenated
+// fault schedule — is byte-identical across jobs counts and replays.
+func TestDiskSweepDeterminism(t *testing.T) {
+	p := DiskParams{Classes: []string{"all"}, Seeds: []int64{7, 8}, Cuts: 4}
+	run := func(jobs int) DiskResult {
+		res, d := RunDiskFaults(p, jobs)
+		if d != nil {
+			t.Fatalf("jobs=%d: %v", jobs, d)
+		}
+		return res
+	}
+	a, b, c := run(1), run(4), run(1)
+	if a.Schedule != b.Schedule {
+		t.Fatal("schedule differs between jobs=1 and jobs=4")
+	}
+	if a.Schedule != c.Schedule {
+		t.Fatal("schedule differs across replays")
+	}
+	if a.Schedule == "" || !strings.Contains(a.Schedule, "# class=all seed=7") {
+		t.Fatalf("schedule missing cell headers:\n%.200s", a.Schedule)
+	}
+	if a.Restored != b.Restored || a.Refusals != b.Refusals || a.Wounded != b.Wounded || a.Faults != b.Faults {
+		t.Fatalf("aggregates differ across jobs: %+v vs %+v", a, b)
+	}
+}
+
+// TestDiskPointCrashBaseline: the pure power-loss class must restore the
+// durable epoch exactly on every cut (no faults to excuse anything).
+func TestDiskPointCrashBaseline(t *testing.T) {
+	sp := soak.DefaultParams("store", 11)
+	n, err := controlOps(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{n / 4, n / 2, 3 * n / 4, 0} {
+		pt, sched, d := RunDiskFaultPoint("crash", 11, cut, sp)
+		if d != nil {
+			t.Fatalf("cut=%d: %v", cut, d)
+		}
+		if cut == 0 {
+			// Complete run, then power loss: everything sealed must survive.
+			if pt.Refused || pt.RestoredEpoch != uint64(sp.Epochs) {
+				t.Fatalf("clean run restored epoch %d (refused=%v), want %d", pt.RestoredEpoch, pt.Refused, sp.Epochs)
+			}
+		}
+		if !pt.Refused && pt.RestoredEpoch < pt.DurableEpoch {
+			t.Fatalf("cut=%d restored %d < durable %d", cut, pt.RestoredEpoch, pt.DurableEpoch)
+		}
+		// The crash class injects exactly one event: the cut itself.
+		if cut > 0 && !strings.Contains(sched, "crash") {
+			t.Fatalf("cut=%d schedule missing the crash event:\n%s", cut, sched)
+		}
+	}
+}
+
+// TestWoundedPlaneStaysSalvageable drives a writer into certain wounding
+// (permanent EIO on every sync) after its early epochs sealed, then proves
+// the wounded store still salvages everything that was durable.
+func TestWoundedPlaneStaysSalvageable(t *testing.T) {
+	sp := soak.DefaultParams("store", 3)
+	mfs := fault.NewMemFS()
+	// Let the run proceed fault-free for a while, then crash mid-run; the
+	// cut makes every later op fail permanently, wounding the plane with
+	// sealed epochs behind it.
+	n, err := controlOps(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := fault.NewFaultFS(mfs, fault.DiskConfig{Seed: 3, CrashAt: 3 * n / 4})
+	var durable uint64
+	renamed := make(map[uint64]int)
+	werr := soak.WriteStoreFS(ffs, sp, func(point string, epoch uint64) {
+		if point == "manifest-renamed" {
+			renamed[epoch]++
+			if renamed[epoch] >= soak.Members && epoch > durable {
+				durable = epoch
+			}
+		}
+	})
+	if werr == nil {
+		t.Fatal("writer survived a crash cut at 3/4 of its syscalls")
+	}
+	if !errors.Is(werr, mem.ErrPlaneWounded) && !fault.IsDiskFault(werr) {
+		t.Fatalf("writer error is neither a wound nor a disk fault: %v", werr)
+	}
+	if durable == 0 {
+		t.Fatal("nothing became durable before the cut; the test is vacuous")
+	}
+	golden := soak.Golden(sp)
+	out, rep, serr := recovery.SalvageDirFS(mfs, sp.Dir)
+	if serr != nil {
+		t.Fatalf("wounded store refused salvage with epoch %d durable: %v", durable, serr)
+	}
+	if rep.RestoredEpoch < durable {
+		t.Fatalf("restored %d < durable %d", rep.RestoredEpoch, durable)
+	}
+	if err := recovery.Verify(out, golden[rep.RestoredEpoch]); err != nil {
+		t.Fatalf("wounded store's salvage diverges from golden: %v", err)
+	}
+}

@@ -150,6 +150,9 @@ func Run(schemeName, wlName string, scale Scale, cfgMod func(*sim.Config)) (RunR
 		if err != nil {
 			return RunResult{}, err
 		}
+		// Observed runs see the plane's I/O events (io_fault, io_retry,
+		// plane_wound) in the same stream as everything else.
+		plane.AttachBus(cfg.Obs)
 		s.NVM().AttachPlane(plane)
 	}
 	wl, err := workload.Get(wlName)

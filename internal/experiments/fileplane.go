@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -36,7 +36,16 @@ type FilePlaneStats struct {
 // own RAM mirror before the stats are returned, so a profile that would
 // publish numbers for a store that does not round-trip fails instead.
 func FilePlaneProfile(dir string, epochs, perEpoch, ckptEvery int, seed int64) (FilePlaneStats, error) {
-	plane, err := mem.OpenFilePlane(dir, ckptEvery)
+	return FilePlaneProfileFS(fault.OS, dir, epochs, perEpoch, ckptEvery, seed)
+}
+
+// FilePlaneProfileFS is FilePlaneProfile over an arbitrary filesystem.
+// BenchmarkFileSealFaulted runs it against a fault-injecting in-memory
+// store to price the retry policy; the profile's round-trip verification
+// still applies unchanged, so a schedule that corrupts the store fails the
+// profile rather than skewing its numbers.
+func FilePlaneProfileFS(fsys fault.FS, dir string, epochs, perEpoch, ckptEvery int, seed int64) (FilePlaneStats, error) {
+	plane, err := mem.OpenFilePlaneFS(fsys, dir, ckptEvery)
 	if err != nil {
 		return FilePlaneStats{}, err
 	}
@@ -61,7 +70,7 @@ func FilePlaneProfile(dir string, epochs, perEpoch, ckptEvery int, seed int64) (
 		return FilePlaneStats{}, err
 	}
 
-	img, drep, err := mem.LoadDir(dir)
+	img, drep, err := mem.LoadDirFS(fsys, dir)
 	if err != nil {
 		return FilePlaneStats{}, err
 	}
@@ -88,17 +97,19 @@ func FilePlaneProfile(dir string, epochs, perEpoch, ckptEvery int, seed int64) (
 		WordsRestored:   img.Len(),
 		DeltaRecords:    records,
 	}
-	entries, err := os.ReadDir(dir)
+	// The FS seam has no Stat; sizing by reading is fine here — LoadDir just
+	// read every byte of the store anyway, so the pages are warm.
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return FilePlaneStats{}, err
 	}
-	for _, e := range entries {
-		fi, err := os.Stat(filepath.Join(dir, e.Name()))
+	for _, name := range names {
+		raw, err := fsys.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return FilePlaneStats{}, err
 		}
 		st.FilesOnDisk++
-		st.BytesOnDisk += fi.Size()
+		st.BytesOnDisk += int64(len(raw))
 	}
 	return st, nil
 }

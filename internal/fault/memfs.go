@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+)
+
+// MemFS is an in-memory FS that models exactly the durability semantics the
+// store's manifest discipline depends on, so a "crash" can be simulated
+// in-process with syscall precision:
+//
+//   - a file's content has a durable prefix (what fsync has promised) and a
+//     volatile rest (page cache); Sync promotes volatile to durable;
+//   - a directory's entry table likewise has a current view (what the
+//     process sees) and a durable view (what survives power loss); Create,
+//     Rename and Remove mutate the current view immediately, and only
+//     SyncDir promotes the directory's current entries to durable;
+//   - Crash throws away everything volatile: the namespace reverts to the
+//     durable entry view and every file's content reverts to its durable
+//     prefix — the precise discard a kill -9 plus power loss performs.
+//
+// MemFS itself never injects errors; wrap it in a FaultFS for that. It is
+// not safe for concurrent use: each sweep cell owns its own instance.
+type MemFS struct {
+	cur  map[string]*memFile // current namespace: cleaned path -> file
+	dur  map[string]*memFile // durable namespace (what a crash keeps)
+	dirs map[string]bool     // existing directories, cleaned paths
+}
+
+// memFile is one file's content: data is the current bytes, durable the
+// fsync-promised prefix snapshot.
+type memFile struct {
+	data    []byte
+	durable []byte
+	// gated: a failed fsync dropped the dirty bytes (fsyncgate); kept so
+	// tests can assert the state was entered.
+	gated bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		cur:  make(map[string]*memFile),
+		dur:  make(map[string]*memFile),
+		dirs: map[string]bool{".": true, "/": true},
+	}
+}
+
+func pathErr(op, name string, err error) error {
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+func (m *MemFS) clean(name string) string { return filepath.Clean(name) }
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	name = m.clean(name)
+	f, ok := m.cur[name]
+	if !ok {
+		return nil, pathErr("open", name, fs.ErrNotExist)
+	}
+	return &memHandle{f: f, path: name}, nil
+}
+
+// Create implements FS: the new entry exists in the current namespace at
+// once, but survives a crash only after the parent directory is synced; the
+// replaced file's durable content survives until then.
+func (m *MemFS) Create(name string) (File, error) {
+	name = m.clean(name)
+	if !m.dirs[dirOf(name)] {
+		return nil, pathErr("create", name, fs.ErrNotExist)
+	}
+	f := &memFile{}
+	m.cur[name] = f
+	return &memHandle{f: f, path: name, writable: true}, nil
+}
+
+// CreateExcl implements FS.
+func (m *MemFS) CreateExcl(name string) (File, error) {
+	name = m.clean(name)
+	if _, ok := m.cur[name]; ok {
+		return nil, pathErr("create", name, fs.ErrExist)
+	}
+	return m.Create(name)
+}
+
+// Rename implements FS: current namespace changes at once (atomically
+// replacing any target), durable namespace only at the next SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = m.clean(oldpath), m.clean(newpath)
+	f, ok := m.cur[oldpath]
+	if !ok {
+		return pathErr("rename", oldpath, fs.ErrNotExist)
+	}
+	if !m.dirs[dirOf(newpath)] {
+		return pathErr("rename", newpath, fs.ErrNotExist)
+	}
+	delete(m.cur, oldpath)
+	m.cur[newpath] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = m.clean(name)
+	if _, ok := m.cur[name]; !ok {
+		return pathErr("remove", name, fs.ErrNotExist)
+	}
+	delete(m.cur, name)
+	return nil
+}
+
+// ReadDir implements FS: sorted base names of dir's current entries.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	dir = m.clean(dir)
+	if !m.dirs[dir] {
+		return nil, pathErr("readdir", dir, fs.ErrNotExist)
+	}
+	var names []string
+	for p := range m.cur {
+		if dirOf(p) == dir {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	name = m.clean(name)
+	f, ok := m.cur[name]
+	if !ok {
+		return nil, pathErr("readfile", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// MkdirAll implements FS. Directory entries for directories themselves are
+// modelled as immediately durable: the store only ever creates its root
+// once, before any durability claim.
+func (m *MemFS) MkdirAll(dir string) error {
+	dir = m.clean(dir)
+	for d := dir; !m.dirs[d]; d = dirOf(d) {
+		m.dirs[d] = true
+		if d == dirOf(d) {
+			break
+		}
+	}
+	return nil
+}
+
+// SyncDir implements FS: dir's current entry table becomes the durable one —
+// entries created, renamed in, renamed away and removed are all promoted.
+func (m *MemFS) SyncDir(dir string) error {
+	dir = m.clean(dir)
+	if !m.dirs[dir] {
+		return pathErr("syncdir", dir, fs.ErrNotExist)
+	}
+	var durable []string
+	for p := range m.dur {
+		durable = append(durable, p)
+	}
+	sort.Strings(durable)
+	for _, p := range durable {
+		if dirOf(p) != dir {
+			continue
+		}
+		if _, ok := m.cur[p]; !ok {
+			delete(m.dur, p) // entry removed/renamed away since the last sync
+		}
+	}
+	var live []string
+	for p := range m.cur {
+		if dirOf(p) == dir {
+			live = append(live, p)
+		}
+	}
+	sort.Strings(live)
+	for _, p := range live {
+		m.dur[p] = m.cur[p]
+	}
+	return nil
+}
+
+// Crash discards everything volatile, exactly as power loss would: the
+// namespace reverts to the durable entry view, and every file's content
+// reverts to its durable (fsynced) prefix. The filesystem stays usable
+// afterwards — a cold salvage reads the surviving state.
+func (m *MemFS) Crash() {
+	var keep []string
+	for p := range m.dur {
+		keep = append(keep, p)
+	}
+	sort.Strings(keep)
+	next := make(map[string]*memFile, len(keep))
+	for _, p := range keep {
+		f := m.dur[p]
+		f.data = append([]byte(nil), f.durable...)
+		f.gated = false
+		next[p] = f
+	}
+	m.cur = next
+}
+
+// DurableNames lists the durable namespace, sorted — what a crash right now
+// would keep. Tests use it to assert entry-durability semantics.
+func (m *MemFS) DurableNames() []string {
+	var names []string
+	for p := range m.dur {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// memHandle is an open MemFS file: reads walk the current content, writes
+// append volatile bytes.
+type memHandle struct {
+	f        *memFile
+	path     string
+	off      int
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	if h.closed {
+		return 0, pathErr("read", h.path, fs.ErrClosed)
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if h.closed {
+		return 0, pathErr("write", h.path, fs.ErrClosed)
+	}
+	if !h.writable {
+		return 0, pathErr("write", h.path, fmt.Errorf("read-only handle"))
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+// Sync promotes the file's current content to durable.
+func (h *memHandle) Sync() error {
+	if h.closed {
+		return pathErr("sync", h.path, fs.ErrClosed)
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.data...)
+	return nil
+}
+
+// DropUnsynced implements the fsyncgate content loss: the kernel marked the
+// dirty pages clean without writing them, so the volatile bytes are gone —
+// reads after the failed fsync see only the durable prefix. FaultFS calls
+// this when it injects a Sync failure.
+func (h *memHandle) DropUnsynced() {
+	h.f.data = append(h.f.data[:0], h.f.durable...)
+	h.f.gated = true
+}
+
+func (h *memHandle) Close() error {
+	if h.closed {
+		return pathErr("close", h.path, fs.ErrClosed)
+	}
+	h.closed = true
+	return nil
+}

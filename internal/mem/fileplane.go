@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // File-backed durable plane: an append/checkpoint on-disk format with
@@ -30,6 +32,12 @@ import (
 //
 // All records reuse the repository's checksummed word-record encoding
 // (RecordCheck / ValidRecord), serialised little-endian.
+//
+// Every filesystem operation goes through the fault.FS seam: production
+// runs over fault.OS, the crash-consistency sweep over a MemFS wrapped in
+// a FaultFS. Transient write faults are absorbed by retryFile (retry.go);
+// any permanent write-path failure wounds the plane (ErrPlaneWounded):
+// writes stop, the RAM mirror and everything already sealed stay readable.
 const (
 	// FileFormatVersion is the manifest schema version.
 	FileFormatVersion = 1
@@ -76,10 +84,11 @@ func ManifestFileName() string { return manifestName }
 // live word array in RAM (Snapshot and fault-flip reads stay cheap) and
 // mirrors every committed burst into the active delta segment.
 type FilePlane struct {
-	dir string
-	ram *RAMPlane
+	fsys fault.FS
+	dir  string
+	ram  *RAMPlane
 
-	seg       *os.File
+	seg       *retryFile
 	w         *bufio.Writer
 	seq       int // active segment sequence number
 	segBase   int // first sealed segment still referenced
@@ -95,32 +104,44 @@ type FilePlane struct {
 	err  error
 	hook func(point string, epoch uint64)
 
+	bus       *obs.Bus // nil when unobserved
+	ioFaults  int
+	ioRetries int
+	backoff   uint64
+
 	scratch []byte
 }
 
-// OpenFilePlane creates a fresh durable store in dir (created if needed).
-// It refuses a directory that already holds a manifest or delta segments:
-// writers always start clean, recovery of an old store goes through
-// LoadDir / recovery.SalvageDir. checkpointEvery <= 0 selects
-// DefaultCheckpointEvery.
+// OpenFilePlane creates a fresh durable store in dir on the real
+// filesystem. See OpenFilePlaneFS.
 func OpenFilePlane(dir string, checkpointEvery int) (*FilePlane, error) {
+	return OpenFilePlaneFS(fault.OS, dir, checkpointEvery)
+}
+
+// OpenFilePlaneFS creates a fresh durable store in dir (created if needed)
+// of the given filesystem. It refuses a directory that already holds a
+// manifest or delta segments: writers always start clean, recovery of an
+// old store goes through LoadDir / recovery.SalvageDir. checkpointEvery
+// <= 0 selects DefaultCheckpointEvery.
+func OpenFilePlaneFS(fsys fault.FS, dir string, checkpointEvery int) (*FilePlane, error) {
 	if checkpointEvery <= 0 {
 		checkpointEvery = DefaultCheckpointEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("mem: store dir: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("mem: store dir: %w", err)
 	}
-	for _, e := range entries {
-		switch name := e.Name(); {
+	for _, name := range names {
+		switch {
 		case name == manifestName, isDeltaName(name), isCkptName(name):
 			return nil, fmt.Errorf("mem: store dir %s already holds %s; refusing to overwrite an existing store", dir, name)
 		}
 	}
 	p := &FilePlane{
+		fsys:      fsys,
 		dir:       dir,
 		ram:       NewRAMPlane(),
 		seq:       0,
@@ -155,27 +176,41 @@ func isCkptName(name string) bool {
 // seeded boundaries.
 func (p *FilePlane) SetSealHook(f func(point string, epoch uint64)) { p.hook = f }
 
+// AttachBus forwards the plane's I/O-fault, retry and wound events to the
+// observability bus. The plane holds the bus, not a wrapper, so the
+// zero-cost nil-bus guard applies.
+func (p *FilePlane) AttachBus(b *obs.Bus) { p.bus = b }
+
 func (p *FilePlane) at(point string, epoch uint64) {
 	if p.hook != nil {
 		p.hook(point, epoch)
 	}
 }
 
-// fail records the first write-path error; the plane stops writing after
-// it (the RAM mirror stays live so the in-process run can continue).
+// fail latches the first permanent write-path error and degrades the plane
+// to read-only wounded mode: the latched error wraps ErrPlaneWounded, every
+// later Apply/SealEpoch is a no-op on disk, and the error is what Err,
+// Close and the sweep's typed-refusal check observe. The RAM mirror stays
+// live so the in-process run can continue, and nothing already sealed is
+// touched — wounded stores salvage to their last published manifest.
 func (p *FilePlane) fail(err error) {
 	if p.err == nil && err != nil {
-		p.err = err
+		p.err = fmt.Errorf("%w: %w", ErrPlaneWounded, err)
+		p.bus.EmitNote(obs.KindPlaneWound, 0, -1, p.sealedEpoch, 0, 0, 0, err.Error())
 	}
 }
 
+// Wounded reports whether a permanent write-path failure has degraded the
+// plane to read-only mode.
+func (p *FilePlane) Wounded() bool { return p.err != nil }
+
 func (p *FilePlane) openSegment() error {
-	f, err := os.OpenFile(filepath.Join(p.dir, DeltaFileName(p.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := p.fsys.CreateExcl(filepath.Join(p.dir, DeltaFileName(p.seq)))
 	if err != nil {
 		return fmt.Errorf("mem: delta segment: %w", err)
 	}
-	p.seg = f
-	p.w = bufio.NewWriter(f)
+	p.seg = &retryFile{f: f, p: p}
+	p.w = bufio.NewWriter(p.seg)
 	p.recsInSeg = 0
 	return nil
 }
@@ -211,6 +246,11 @@ func (p *FilePlane) Apply(addr uint64, words []uint64) {
 // new manifest (temp + rename + parent-directory fsync), then open the
 // next segment. Obsolete segments and checkpoints are removed only after
 // the manifest that drops them is durable.
+//
+// Sync errors are never retried anywhere on this path (fsyncgate: a
+// failed fsync may have dropped the dirty pages, and retrying can falsely
+// succeed); the first one wounds the plane with the segment unsealed and
+// the old manifest still in force.
 //
 // nvlint:durable
 func (p *FilePlane) SealEpoch(epoch uint64) {
@@ -271,7 +311,7 @@ func (p *FilePlane) SealEpoch(epoch uint64) {
 	// only waste space, never state. Removal failures still count: a store
 	// that cannot clean up is a store whose disk is misbehaving.
 	for _, name := range obsolete {
-		if err := os.Remove(filepath.Join(p.dir, name)); err != nil {
+		if err := p.fsys.Remove(filepath.Join(p.dir, name)); err != nil {
 			p.fail(err)
 			return
 		}
@@ -291,11 +331,12 @@ func (p *FilePlane) SealEpoch(epoch uint64) {
 func (p *FilePlane) writeCheckpoint(seq int) error {
 	name := CheckpointFileName(seq)
 	tmp := filepath.Join(p.dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := p.fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("mem: checkpoint: %w", err)
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
+	rf := &retryFile{f: f, p: p}
+	w := bufio.NewWriterSize(rf, 1<<16)
 	addrs := p.ram.SortedAddrs()
 	header := []uint64{FileCkptMagic, FileFormatVersion, p.sealedEpoch, uint64(len(addrs))}
 	for _, v := range header {
@@ -314,24 +355,27 @@ func (p *FilePlane) writeCheckpoint(seq int) error {
 		// putWord failures landed in p.err; surface them as the checkpoint
 		// error so the temp file is not renamed into place.
 		err := p.err
-		_ = f.Close() // the write error is the one worth reporting
+		_ = rf.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		_ = f.Close() // the flush error is the one worth reporting
+		_ = rf.Close() // the flush error is the one worth reporting
 		return fmt.Errorf("mem: checkpoint: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close() // the sync error is the one worth reporting
+	if err := rf.Sync(); err != nil {
+		_ = rf.Close() // the sync error is the one worth reporting
 		return fmt.Errorf("mem: checkpoint: %w", err)
 	}
-	if err := f.Close(); err != nil {
+	if err := rf.Close(); err != nil {
 		return fmt.Errorf("mem: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(p.dir, name)); err != nil {
+	if err := p.fsys.Rename(tmp, filepath.Join(p.dir, name)); err != nil {
 		return fmt.Errorf("mem: checkpoint: %w", err)
 	}
-	return syncDir(p.dir)
+	if err := p.fsys.SyncDir(p.dir); err != nil {
+		return fmt.Errorf("mem: dir sync: %w", err)
+	}
+	return nil
 }
 
 // writeManifest atomically publishes the current durable state. The
@@ -353,49 +397,34 @@ func (p *FilePlane) writeManifest(epoch uint64) error {
 	}
 	words = append(words, RecordCheck(words))
 	tmp := filepath.Join(p.dir, manifestTemp)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := p.fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("mem: manifest: %w", err)
 	}
+	rf := &retryFile{f: f, p: p}
 	buf := make([]byte, 8*len(words))
 	for i, v := range words {
 		binary.LittleEndian.PutUint64(buf[i*8:], v)
 	}
-	if _, err := f.Write(buf); err != nil {
-		_ = f.Close() // the write error is the one worth reporting
+	if _, err := rf.Write(buf); err != nil {
+		_ = rf.Close() // the write error is the one worth reporting
 		return fmt.Errorf("mem: manifest: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close() // the sync error is the one worth reporting
+	if err := rf.Sync(); err != nil {
+		_ = rf.Close() // the sync error is the one worth reporting
 		return fmt.Errorf("mem: manifest: %w", err)
 	}
-	if err := f.Close(); err != nil {
+	if err := rf.Close(); err != nil {
 		return fmt.Errorf("mem: manifest: %w", err)
 	}
 	p.at("manifest-temp", epoch)
-	if err := os.Rename(tmp, filepath.Join(p.dir, manifestName)); err != nil {
+	if err := p.fsys.Rename(tmp, filepath.Join(p.dir, manifestName)); err != nil {
 		return fmt.Errorf("mem: manifest: %w", err)
 	}
-	if err := syncDir(p.dir); err != nil {
-		return err
+	if err := p.fsys.SyncDir(p.dir); err != nil {
+		return fmt.Errorf("mem: dir sync: %w", err)
 	}
 	p.at("manifest-renamed", epoch)
-	return nil
-}
-
-// syncDir fsyncs a directory so a rename inside it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("mem: dir sync: %w", err)
-	}
-	if err := d.Sync(); err != nil {
-		_ = d.Close() // the sync error is the one worth reporting
-		return fmt.Errorf("mem: dir sync: %w", err)
-	}
-	if err := d.Close(); err != nil {
-		return fmt.Errorf("mem: dir sync: %w", err)
-	}
 	return nil
 }
 
@@ -425,7 +454,8 @@ func (p *FilePlane) XorWord(addr, mask uint64) { p.ram.XorWord(addr, mask) }
 // Snapshot implements DurablePlane.
 func (p *FilePlane) Snapshot() *Image { return p.ram.Snapshot() }
 
-// Err implements DurablePlane.
+// Err implements DurablePlane. After a permanent write failure it wraps
+// ErrPlaneWounded around the root cause.
 func (p *FilePlane) Err() error { return p.err }
 
 // Close implements DurablePlane: flush and close the active segment

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	iofs "io/fs"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // FileDamage records one piece of evidence LoadDir found while replaying a
@@ -64,8 +66,15 @@ var errReplayStop = errors.New("replay stopped")
 // the manifest is corrupt, from a future format, or references a
 // checkpoint that is missing or fails its digest.
 func LoadDir(dir string) (*Image, *DirReport, error) {
+	return LoadDirFS(fault.OS, dir)
+}
+
+// LoadDirFS is LoadDir over an arbitrary filesystem: the crash-consistency
+// sweep replays the post-crash durable state of an in-memory store exactly
+// the way a fresh process would replay a real directory.
+func LoadDirFS(fsys fault.FS, dir string) (*Image, *DirReport, error) {
 	rep := &DirReport{CheckpointSeq: -1}
-	entries, err := os.ReadDir(dir)
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		rep.Fatal = "store-missing"
 		rep.addDamage("store-missing", dir, "cannot read store directory")
@@ -73,8 +82,7 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 	}
 	maxDelta, haveDelta := -1, false
 	haveCkpt := false
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if strings.HasSuffix(name, ".tmp") {
 			// An interrupted temp write: the rename never happened, so the
 			// published state does not reference it. Evidence, not damage.
@@ -93,9 +101,9 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 		}
 	}
 
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	raw, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	switch {
-	case errors.Is(err, os.ErrNotExist):
+	case errors.Is(err, iofs.ErrNotExist):
 		// No manifest. A run killed before its first epoch seal legitimately
 		// leaves only delta-000000.log; anything richer means the manifest
 		// itself was destroyed.
@@ -106,7 +114,7 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 		}
 		words := make(map[uint64]uint64)
 		if haveDelta {
-			n, _, err := replaySegment(filepath.Join(dir, DeltaFileName(0)), words, false, rep)
+			n, _, err := replaySegment(fsys, filepath.Join(dir, DeltaFileName(0)), words, false, rep)
 			if err != nil && !errors.Is(err, errReplayStop) {
 				return nil, rep, err
 			}
@@ -149,8 +157,8 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 	words := make(map[uint64]uint64)
 	if ckptSeq >= 0 {
 		name := CheckpointFileName(ckptSeq)
-		if err := replayCheckpoint(filepath.Join(dir, name), words); err != nil {
-			if errors.Is(err, os.ErrNotExist) {
+		if err := replayCheckpoint(fsys, filepath.Join(dir, name), words); err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
 				rep.Fatal = "checkpoint-missing"
 				rep.addDamage("checkpoint-missing", name, "manifest references a checkpoint that does not exist")
 				return nil, rep, fmt.Errorf("mem: checkpoint missing: %w", err)
@@ -167,9 +175,9 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 	// old and new words that never coexisted).
 	for seq := segBase; seq < segBase+segCount; seq++ {
 		name := DeltaFileName(seq)
-		_, sealed, err := replaySegment(filepath.Join(dir, name), words, true, rep)
+		_, sealed, err := replaySegment(fsys, filepath.Join(dir, name), words, true, rep)
 		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
+			if errors.Is(err, iofs.ErrNotExist) {
 				rep.addDamage("segment-missing", name, "manifest references a sealed delta segment that does not exist")
 				rep.Truncated = true
 				return NewImage(words), rep, nil
@@ -192,8 +200,8 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 	// is the expected kill -9 shape; the valid prefix still holds committed
 	// (but unsealed) writes that image-level salvage may use.
 	active := DeltaFileName(segBase + segCount)
-	n, _, err := replaySegment(filepath.Join(dir, active), words, false, rep)
-	if err != nil && !errors.Is(err, errReplayStop) && !errors.Is(err, os.ErrNotExist) {
+	n, _, err := replaySegment(fsys, filepath.Join(dir, active), words, false, rep)
+	if err != nil && !errors.Is(err, errReplayStop) && !errors.Is(err, iofs.ErrNotExist) {
 		return nil, rep, err
 	}
 	rep.ActiveRecords = n
@@ -206,8 +214,8 @@ func LoadDir(dir string) (*Image, *DirReport, error) {
 // segment a torn tail is normal kill -9 evidence (active-torn) and the
 // valid prefix is kept. Returns the record count and whether a seal record
 // terminated the segment.
-func replaySegment(path string, words map[uint64]uint64, sealed bool, rep *DirReport) (int, bool, error) {
-	f, err := os.Open(path)
+func replaySegment(fsys fault.FS, path string, words map[uint64]uint64, sealed bool, rep *DirReport) (int, bool, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, false, err
 	}
@@ -293,8 +301,8 @@ loop:
 // checksum and the running digest over all (addr, word) pairs. Any
 // mismatch is an error: a checkpoint is all-or-nothing, there is no older
 // state underneath it to fall back on.
-func replayCheckpoint(path string, words map[uint64]uint64) error {
-	f, err := os.Open(path)
+func replayCheckpoint(fsys fault.FS, path string, words map[uint64]uint64) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,20 @@ const (
 	// for group-level decisions), Epoch = epoch concerned, Note = the
 	// decision ("restored", "walked-back", "refused", or a damage kind).
 	KindSalvage
+	// KindIOFault is a disk-level I/O error observed by the file-backed
+	// plane (injected or real). Actor = -1, Epoch = newest sealed epoch,
+	// Arg = 1 when the fault is transient, Aux = the plane's mutating-op
+	// ordinal where known, Note = the syscall ("write", "sync", ...).
+	// Carries no cycle (the plane is below the simulated clock).
+	KindIOFault
+	// KindIORetry is one bounded-retry attempt against a transient disk
+	// fault. Actor = -1, Epoch = newest sealed epoch, Arg = attempt index
+	// (1-based), Aux = deterministic backoff ticks charged for the attempt.
+	KindIORetry
+	// KindPlaneWound is the plane's one-way degradation to read-only
+	// wounded mode after a permanent write-path failure. Actor = -1,
+	// Epoch = newest sealed epoch (still salvageable), Note = the cause.
+	KindPlaneWound
 	numKinds
 )
 
@@ -78,6 +92,9 @@ var kindNames = [numKinds]string{
 	"nvm_drain",
 	"fault",
 	"salvage",
+	"io_fault",
+	"io_retry",
+	"plane_wound",
 }
 
 // String returns the canonical wire name of the kind.

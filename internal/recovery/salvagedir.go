@@ -3,6 +3,7 @@ package recovery
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 )
 
@@ -28,7 +29,14 @@ import (
 // File-level findings are merged into the returned report with their kind
 // prefixed "file-" (OMC -1, epoch 0), before the image-level damage.
 func SalvageDir(dir string) (map[uint64]uint64, *SalvageReport, error) {
-	img, drep, err := mem.LoadDir(dir)
+	return SalvageDirFS(fault.OS, dir)
+}
+
+// SalvageDirFS is SalvageDir over an arbitrary filesystem. The
+// crash-consistency sweep salvages the surviving in-memory state of a
+// crashed fault-injected store through exactly this path.
+func SalvageDirFS(fsys fault.FS, dir string) (map[uint64]uint64, *SalvageReport, error) {
+	img, drep, err := mem.LoadDirFS(fsys, dir)
 	if err != nil {
 		rep := &SalvageReport{Refused: true, Partitions: []PartitionReport{}, Damage: []Damage{}}
 		rep.Reason = fmt.Sprintf("store directory unusable: %s", drep.Fatal)

@@ -3,13 +3,41 @@ package soak
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"strings"
+	"syscall"
 
+	"repro/internal/fault"
 	"repro/internal/recovery"
 )
+
+// ErrNoSpace types a soak failure caused by the store's filesystem running
+// out of space. The crash-soak harness must distinguish this from a
+// durability contract violation: the run still fails (non-zero exit, the
+// partial tally is flushed), but the blame is the environment, not the
+// store. Callers detect it with IsNoSpace.
+var ErrNoSpace = errors.New("soak: store filesystem out of space")
+
+// IsNoSpace reports whether err is an out-of-space failure — either the
+// typed ErrNoSpace wrap from a child writer or a raw ENOSPC surfaced by a
+// parent-side filesystem call.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
+}
+
+// wrapChildErr types a failed child writer's exit. A child that died on
+// ENOSPC prints the errno text to stderr before exiting non-zero; that is
+// the only channel the parent has, so classification is textual.
+func wrapChildErr(err error, stderr string) error {
+	if strings.Contains(stderr, "no space left on device") {
+		return fmt.Errorf("%w: child failed: %v; stderr: %s", ErrNoSpace, err, stderr)
+	}
+	return fmt.Errorf("soak: child failed: %v; stderr: %s", err, stderr)
+}
 
 // Result summarises one parent-side soak run.
 type Result struct {
@@ -99,7 +127,7 @@ func Run(bin string, args []string, p Params, killAt int) (*Result, error) {
 		return abort(fmt.Errorf("soak: reading child: %w", err))
 	}
 	if err := cmd.Wait(); err != nil {
-		return nil, fmt.Errorf("soak: child failed: %v; stderr: %s", err, stderr.String())
+		return nil, wrapChildErr(err, stderr.String())
 	}
 	return res, nil
 }
@@ -116,10 +144,17 @@ func Run(bin string, args []string, p Params, killAt int) (*Result, error) {
 //
 // The salvage report is returned in all cases so callers can archive it.
 func CheckDir(dir string, durable uint64, golden map[uint64]map[uint64]uint64) (*recovery.SalvageReport, error) {
+	return CheckDirFS(fault.OS, dir, durable, golden)
+}
+
+// CheckDirFS is CheckDir over an arbitrary filesystem: the disk-fault
+// sweep verifies the post-crash state of its in-memory stores through
+// exactly the contract above.
+func CheckDirFS(fsys fault.FS, dir string, durable uint64, golden map[uint64]map[uint64]uint64) (*recovery.SalvageReport, error) {
 	// A refusal with nothing acknowledged durable is the expected outcome
 	// for a store killed before its first seal, so that branch drops the
 	// typed refusal on purpose: it carries no extra signal for the caller.
-	out, rep, err := recovery.SalvageDir(dir) //nvlint:allow errlatch refusal with durable==0 is the expected outcome, not a failure
+	out, rep, err := recovery.SalvageDirFS(fsys, dir) //nvlint:allow errlatch refusal with durable==0 is the expected outcome, not a failure
 	if err != nil {
 		if durable == 0 && rep.NonEmpty() {
 			return rep, nil

@@ -1,0 +1,39 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+)
+
+// TestNoSpaceClassification pins the ENOSPC contract: a child writer dying
+// with the errno text on stderr is typed ErrNoSpace, anything else stays an
+// ordinary child failure, and a raw ENOSPC from a parent-side filesystem
+// call is recognised too.
+func TestNoSpaceClassification(t *testing.T) {
+	exit := errors.New("exit status 1")
+
+	err := wrapChildErr(exit, "nvsoak child: write store/seg-000001.nvlog: no space left on device\n")
+	if !IsNoSpace(err) {
+		t.Fatalf("ENOSPC child failure not typed: %v", err)
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("typed wrap lost the sentinel: %v", err)
+	}
+
+	err = wrapChildErr(exit, "nvsoak child: checksum mismatch\n")
+	if IsNoSpace(err) {
+		t.Fatalf("unrelated child failure typed as ENOSPC: %v", err)
+	}
+	if err == nil || errors.Is(err, ErrNoSpace) {
+		t.Fatalf("plain child failure misclassified: %v", err)
+	}
+
+	if !IsNoSpace(fmt.Errorf("soak: mkdir: %w", syscall.ENOSPC)) {
+		t.Fatal("raw ENOSPC not recognised")
+	}
+	if IsNoSpace(errors.New("soak: child failed")) {
+		t.Fatal("untyped error recognised as ENOSPC")
+	}
+}

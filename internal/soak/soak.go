@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/omc"
 	"repro/internal/sim"
@@ -177,9 +178,20 @@ func writerConfig(p Params) sim.Config {
 //
 // nvlint:durable
 func WriteStore(p Params, hit func(point string, epoch uint64)) error {
+	return WriteStoreFS(fault.OS, p, hit)
+}
+
+// WriteStoreFS is WriteStore over an arbitrary filesystem: the disk-fault
+// sweep drives exactly this writer against a fault-injecting in-memory
+// store. A fault-wounded plane surfaces here as the mem.ErrPlaneWounded
+// error ClosePlane returns; everything sealed before the wound is already
+// on the filesystem for salvage.
+//
+// nvlint:durable
+func WriteStoreFS(fsys fault.FS, p Params, hit func(point string, epoch uint64)) error {
 	cfg := writerConfig(p)
 	nvm := mem.NewNVM(&cfg)
-	plane, err := mem.OpenFilePlane(p.Dir, p.CheckpointEvery)
+	plane, err := mem.OpenFilePlaneFS(fsys, p.Dir, p.CheckpointEvery)
 	if err != nil {
 		return err
 	}
