@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strconv"
 	"strings"
 	"time"
 
@@ -91,6 +92,7 @@ type options struct {
 	exp        string
 	scale      string
 	wlCSV      string
+	coresCSV   string
 	seed       int64
 	faults     string
 	timing     bool
@@ -109,9 +111,10 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs := flag.NewFlagSet("nvbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	o := options{}
-	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, fileplane, all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, fileplane, scale256, all")
 	fs.StringVar(&o.scale, "scale", "quick", "run scale: smoke, quick, full")
-	fs.StringVar(&o.wlCSV, "workloads", "", "comma-separated workload subset (default: all twelve)")
+	fs.StringVar(&o.wlCSV, "workloads", "", "comma-separated workload subset (default: the paper's twelve; scale256 defaults to oltp,social)")
+	fs.StringVar(&o.coresCSV, "cores", "", "comma-separated core counts for scale256 (default: 64,128,256)")
 	fs.Int64Var(&o.seed, "seed", 0, "workload PRNG seed (0: the config default); every run is a pure function of it")
 	fs.StringVar(&o.faults, "faults", "", "NVM fault-injection class for NVOverlay runs (torn, flip, loss, nak, all); the fault schedule derives from -seed and replays byte-identically")
 	fs.BoolVar(&o.timing, "time", true, "print wall-clock duration per experiment")
@@ -158,6 +161,16 @@ func run(o options, out io.Writer) error {
 			if _, err := workload.Get(w); err != nil {
 				return err
 			}
+		}
+	}
+	var coreCounts []int
+	if o.coresCSV != "" {
+		for _, s := range strings.Split(o.coresCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -cores value %q", s)
+			}
+			coreCounts = append(coreCounts, n)
 		}
 	}
 
@@ -359,6 +372,14 @@ func run(o options, out io.Writer) error {
 			}
 			return cells, nil
 		}},
+		{"scale256", func() (any, error) {
+			pts, err := experiments.Scale256(sc, coreCounts, wls)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintScale256(out, pts)
+			return pts, nil
+		}},
 		{"fileplane", func() (any, error) {
 			dir, err := os.MkdirTemp("", "nvbench-fileplane-*")
 			if err != nil {
@@ -387,9 +408,9 @@ func run(o options, out io.Writer) error {
 		}},
 	}
 
-	// The timeline and fileplane experiments only run when asked for — by
-	// name (or, for timeline, by -timeline / implicitly by -events) — so
-	// "all" keeps regenerating exactly the paper's figures.
+	// The timeline, fileplane and scale256 experiments only run when asked
+	// for — by name (or, for timeline, by -timeline / implicitly by
+	// -events) — so "all" keeps regenerating exactly the paper's figures.
 	wantTimeline := o.timeline || o.events != ""
 	all := o.exp == "all"
 	matched := false
@@ -398,7 +419,7 @@ func run(o options, out io.Writer) error {
 		switch spec.name {
 		case "timeline":
 			sel = sel || wantTimeline
-		case "fileplane":
+		case "fileplane", "scale256":
 			// explicit selection only
 		default:
 			sel = sel || all

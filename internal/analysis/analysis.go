@@ -353,8 +353,15 @@ func CountSuppressions(pkgs []*Package) int {
 // for the same reason: its event streams and rollups ship the
 // byte-identical-across-jobs promise, so an order or clock leak there is a
 // determinism bug even though the simulation itself never reads the bus.
+// internal/trace, internal/workload and internal/experiments joined with
+// the big-machine scale sweep: the driver loop, the workload generators
+// (including the zipfian scale kernels) and the figure/sweep reductions
+// all feed the byte-identical figure outputs directly.
 var simVisible = prefixMatcher(
 	"repro/internal/sim",
+	"repro/internal/trace",
+	"repro/internal/workload",
+	"repro/internal/experiments",
 	"repro/internal/fault",
 	"repro/internal/cst",
 	"repro/internal/omc",

@@ -7,8 +7,8 @@ package cache
 // shape per line address, which is why the table lives here next to the
 // cache arrays they also share.
 type DirEntry struct {
-	Sharers uint64 // bitmask over VDs with a (shared) copy
-	Owner   int    // VD holding E/M, or -1
+	Sharers SharerSet // VDs with a (shared) copy
+	Owner   int       // VD holding E/M, or -1
 }
 
 // Directory is a sharded open-addressing hash table from line address to
@@ -151,7 +151,7 @@ func (d *Directory) Delete(addr uint64) {
 // owner — the idiom both hierarchies use to keep the directory pruned to
 // lines actually cached somewhere.
 func (d *Directory) DeleteIfEmpty(addr uint64) {
-	if e := d.Get(addr); e != nil && e.Sharers == 0 && e.Owner == -1 {
+	if e := d.Get(addr); e != nil && e.Sharers.None() && e.Owner == -1 {
 		d.Delete(addr)
 	}
 }

@@ -27,7 +27,7 @@ func TestDirectoryAgainstMapModel(t *testing.T) {
 			if e.Sharers != re.Sharers || e.Owner != re.Owner {
 				t.Fatalf("step %d: entry %#x = %+v, want %+v", step, addr, *e, re)
 			}
-			e.Sharers |= 1 << (rnd() % 8)
+			e.Sharers.Add(int(rnd() % 8))
 			e.Owner = int(rnd()%8) - 1
 			ref[addr] = *e
 		case 2: // Get
@@ -45,13 +45,13 @@ func TestDirectoryAgainstMapModel(t *testing.T) {
 		case 4: // DeleteIfEmpty
 			if e := d.Get(addr); e != nil {
 				if rnd()%2 == 0 {
-					e.Sharers = 0
+					e.Sharers = SharerSet{}
 					e.Owner = -1
 					ref[addr] = *e
 				}
 			}
 			d.DeleteIfEmpty(addr)
-			if re, ok := ref[addr]; ok && re.Sharers == 0 && re.Owner == -1 {
+			if re, ok := ref[addr]; ok && re.Sharers.None() && re.Owner == -1 {
 				delete(ref, addr)
 			}
 		}
@@ -80,7 +80,7 @@ func TestDirectoryForEachDeterministicAndDeleteSafe(t *testing.T) {
 		d := NewDirectory()
 		for i := uint64(0); i < 1000; i++ {
 			e := d.GetOrCreate(i << 6)
-			e.Sharers = i
+			e.Sharers.Add(int(i % 256))
 		}
 		return d
 	}
@@ -123,7 +123,11 @@ func TestDirectoryPointerStableAcrossForeignDeletes(t *testing.T) {
 		d.GetOrCreate(addrs[i])
 	}
 	e := d.Get(addrs[17])
-	e.Sharers = 0xAB
+	want := SharerSet{}
+	for _, vd := range []int{0, 1, 3, 5, 7} {
+		e.Sharers.Add(vd)
+		want.Add(vd)
+	}
 	e.Owner = 3
 	// Tombstone-delete many other addresses; the pointer must stay valid
 	// (no insertions happen, so no rehash can move it).
@@ -132,7 +136,7 @@ func TestDirectoryPointerStableAcrossForeignDeletes(t *testing.T) {
 			d.Delete(a)
 		}
 	}
-	if e.Sharers != 0xAB || e.Owner != 3 {
+	if e.Sharers != want || e.Owner != 3 {
 		t.Fatalf("entry moved or corrupted by foreign deletes: %+v", *e)
 	}
 	if got := d.Get(addrs[17]); got != e {
@@ -153,7 +157,7 @@ func TestDirectoryReset(t *testing.T) {
 		t.Fatalf("AppendKeys after Reset = %v", keys)
 	}
 	// Reusable after reset.
-	d.GetOrCreate(64).Sharers = 1
+	d.GetOrCreate(64).Sharers.Add(0)
 	keys := d.AppendKeys(nil)
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	if len(keys) != 1 || keys[0] != 64 {

@@ -191,9 +191,9 @@ func (h *Hierarchy) Load(tid int, addr uint64) uint64 {
 	lat += h.response(vd, rv)
 	e := h.entry(addr)
 	state := cache.Shared
-	if e.Sharers == (uint64(1)<<vd) && e.Owner == -1 {
+	if e.Sharers.Only(vd) && e.Owner == -1 {
 		state = cache.Exclusive
-		e.Sharers = 0
+		e.Sharers = cache.SharerSet{}
 		e.Owner = vd
 	}
 	lat += h.fillL2(vd, addr, state, rv, data)
@@ -249,7 +249,7 @@ func (h *Hierarchy) Store(tid int, addr uint64) uint64 {
 		h.l1[c].Invalidate(addr)
 	}
 	e := h.entry(addr)
-	e.Sharers = 0
+	e.Sharers = cache.SharerSet{}
 	e.Owner = vd
 	lat += h.fillL2(vd, addr, cache.Modified, rv, data)
 	if l2ln := h.l2[vd].Peek(addr); l2ln != nil {
@@ -292,21 +292,24 @@ func (h *Hierarchy) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64,
 			h.stat.Inc("remote_invalidations")
 		} else {
 			h.downgradeVD(e.Owner, addr)
-			e.Sharers |= uint64(1) << e.Owner
+			e.Sharers.Add(e.Owner)
 			e.Owner = -1
 			h.stat.Inc("remote_downgrades")
 		}
 	}
-	if exclusive && e.Sharers != 0 {
-		for other := 0; other < h.cfg.VDs(); other++ {
-			if other == vd || e.Sharers&(uint64(1)<<other) == 0 {
-				continue
+	if exclusive && !e.Sharers.None() {
+		// Value copy: O(set-bits) ascending walk, same invalidation order as
+		// the old O(VDs) bitmask scan.
+		sharers := e.Sharers
+		sharers.ForEach(func(other int) {
+			if other == vd {
+				return
 			}
 			lat += h.cfg.RemoteL2Lat
 			h.invalidateVD(other, addr, ReasonCoherence)
-			e.Sharers &^= uint64(1) << other
+			e.Sharers.Remove(other)
 			h.stat.Inc("remote_invalidations")
-		}
+		})
 	}
 
 	// Ensure LLC residency (inclusive LLC: every VD-cached line is here).
@@ -329,7 +332,7 @@ func (h *Hierarchy) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64,
 		}
 	}
 	if !exclusive {
-		e.Sharers |= uint64(1) << vd
+		e.Sharers.Add(vd)
 	}
 	return rv, data, lat
 }
@@ -356,19 +359,16 @@ func (h *Hierarchy) evictLLCVictim(victim cache.Line) (lat uint64) {
 	if e := h.dir.Get(victim.Tag); e != nil {
 		vds := e.Sharers
 		if e.Owner != -1 {
-			vds |= uint64(1) << e.Owner
+			vds.Add(e.Owner)
 		}
-		for vd := 0; vd < h.cfg.VDs(); vd++ {
-			if vds&(uint64(1)<<vd) == 0 {
-				continue
-			}
+		vds.ForEach(func(vd int) {
 			if wb, ok := h.recallVD(vd, victim.Tag); ok {
 				victim.Dirty = true
 				victim.OID = wb.OID
 				victim.Data = wb.Data
 			}
 			h.stat.Inc("back_invalidations")
-		}
+		})
 		h.dir.Delete(victim.Tag)
 	}
 	if victim.Dirty {
@@ -503,7 +503,7 @@ func (h *Hierarchy) evictL2Victim(vd int, victim cache.Line, reason Reason) (lat
 	}
 	// Directory: this VD no longer caches the line.
 	if e := h.dir.Get(victim.Tag); e != nil {
-		e.Sharers &^= uint64(1) << vd
+		e.Sharers.Remove(vd)
 		if e.Owner == vd {
 			e.Owner = -1
 		}
@@ -577,11 +577,11 @@ func (h *Hierarchy) FlushVD(vd int) []cache.Line {
 		h.mergeIntoLLC(ln)
 	}
 	h.dir.ForEach(func(addr uint64, e *cache.DirEntry) {
-		e.Sharers &^= uint64(1) << vd
+		e.Sharers.Remove(vd)
 		if e.Owner == vd {
 			e.Owner = -1
 		}
-		if e.Sharers == 0 && e.Owner == -1 {
+		if e.Sharers.None() && e.Owner == -1 {
 			h.dir.Delete(addr)
 		}
 	})
@@ -645,8 +645,8 @@ func (h *Hierarchy) CheckInvariants() error {
 				err = fmt.Errorf("L2 %d holds %#x with no directory entry", vd, ln.Tag)
 				return
 			}
-			if e.Owner != vd && e.Sharers&(uint64(1)<<vd) == 0 {
-				err = fmt.Errorf("L2 %d holds %#x but directory disagrees (owner=%d sharers=%b)",
+			if e.Owner != vd && !e.Sharers.Has(vd) {
+				err = fmt.Errorf("L2 %d holds %#x but directory disagrees (owner=%d sharers=%s)",
 					vd, ln.Tag, e.Owner, e.Sharers)
 			}
 			if ln.State.Writable() && e.Owner != vd {
@@ -663,7 +663,7 @@ func (h *Hierarchy) CheckInvariants() error {
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, addr := range addrs {
 		e := h.dir.Get(addr)
-		if e.Owner != -1 && e.Sharers&(uint64(1)<<e.Owner) != 0 {
+		if e.Owner != -1 && e.Sharers.Has(e.Owner) {
 			return fmt.Errorf("addr %#x: owner %d also listed as sharer", addr, e.Owner)
 		}
 	}

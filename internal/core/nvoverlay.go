@@ -49,7 +49,12 @@ func WithRetention() Option { return func(o *options) { o.retention = true } }
 // New assembles NVOverlay from the machine configuration. cfg.TagWalker and
 // cfg.OMCBuffer select the §IV-C walker and §IV-E buffer.
 func New(cfg *sim.Config, opts ...Option) *NVOverlay {
+	// cfg.OMCs sizes the OMC sharding (0 keeps the paper's four memory
+	// controllers); WithOMCs still overrides for tests that pin a layout.
 	o := options{omcs: 4}
+	if cfg.OMCs > 0 {
+		o.omcs = cfg.OMCs
+	}
 	for _, opt := range opts {
 		opt(&o)
 	}

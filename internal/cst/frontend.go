@@ -92,9 +92,18 @@ type Frontend struct {
 	// bursting at the boundary. min-ver is reported once the queue drains.
 	walkQ      [][]cache.Line
 	walkReport []uint64 // epoch to report once walkQ[vd] empties (0 = none)
-	walker     bool
-	wrap       *WrapSpace
-	wrapFlush  int // group-transition flushes performed
+	// dirtyInflow marks VDs that received a dirty cache-to-cache transfer
+	// of an old epoch since their last tag walk. A walk cleans every dirty
+	// line older than cur, and stores only dirty lines at cur, so such a
+	// transfer is the only way a stale dirty version can exist at min-ver
+	// report time: when the flag is clear the report is provably cur and
+	// the walker skips the full L1+L2 rescan (the dominant cost of
+	// coherence-driven advances at 64+ domains). CheckInvariants
+	// cross-checks the claim against the actual cache contents.
+	dirtyInflow []bool
+	walker      bool
+	wrap        *WrapSpace
+	wrapFlush   int // group-transition flushes performed
 
 	// Transient per-access accounting.
 	now      uint64
@@ -111,21 +120,22 @@ type Frontend struct {
 // wrap-around protocol per cfg.WrapEpochs.
 func New(cfg *sim.Config, dram *mem.DRAM, backend Backend) *Frontend {
 	f := &Frontend{
-		cfg:        cfg,
-		backend:    backend,
-		dram:       dram,
-		l1:         make([]*cache.Cache, cfg.Cores),
-		l2:         make([]*cache.Cache, cfg.VDs()),
-		llc:        make([]*cache.Cache, cfg.LLCSlices),
-		dir:        cache.NewDirectory(),
-		cur:        make([]uint64, cfg.VDs()),
-		storeCnt:   make([]int, cfg.VDs()),
-		totStores:  make([]uint64, cfg.VDs()),
-		walkQ:      make([][]cache.Line, cfg.VDs()),
-		walkReport: make([]uint64, cfg.VDs()),
-		walker:     cfg.TagWalker,
-		stat:       stats.NewSet("cst"),
-		bus:        cfg.Obs,
+		cfg:         cfg,
+		backend:     backend,
+		dram:        dram,
+		l1:          make([]*cache.Cache, cfg.Cores),
+		l2:          make([]*cache.Cache, cfg.VDs()),
+		llc:         make([]*cache.Cache, cfg.LLCSlices),
+		dir:         cache.NewDirectory(),
+		cur:         make([]uint64, cfg.VDs()),
+		storeCnt:    make([]int, cfg.VDs()),
+		totStores:   make([]uint64, cfg.VDs()),
+		walkQ:       make([][]cache.Line, cfg.VDs()),
+		walkReport:  make([]uint64, cfg.VDs()),
+		dirtyInflow: make([]bool, cfg.VDs()),
+		walker:      cfg.TagWalker,
+		stat:        stats.NewSet("cst"),
+		bus:         cfg.Obs,
 	}
 	for i := range f.l1 {
 		f.l1[i] = cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, cfg.LineSize)
@@ -271,16 +281,21 @@ func (f *Frontend) drainWalk(vd int) {
 // walk snapshotted the tags, and the report must not claim it persisted.
 func (f *Frontend) reportMinVer(vd int) {
 	min := f.cur[vd]
-	scan := func(ln *cache.Line) {
-		if ln.Dirty && ln.OID < min {
-			min = ln.OID
+	if f.dirtyInflow[vd] {
+		// A stale dirty version may have migrated in since the last walk:
+		// rescan for the true minimum. Without inflow the scan is provably
+		// a no-op (every dirty line is tagged cur) and is skipped.
+		scan := func(ln *cache.Line) {
+			if ln.Dirty && ln.OID < min {
+				min = ln.OID
+			}
 		}
+		lo, hi := f.coresOf(vd)
+		for c := lo; c < hi; c++ {
+			f.l1[c].ForEach(scan)
+		}
+		f.l2[vd].ForEach(scan)
 	}
-	lo, hi := f.coresOf(vd)
-	for c := lo; c < hi; c++ {
-		f.l1[c].ForEach(scan)
-	}
-	f.l2[vd].ForEach(scan)
 	for _, q := range f.walkQ[vd] {
 		if q.OID < min {
 			min = q.OID
@@ -336,9 +351,9 @@ func (f *Frontend) load(tid int, addr uint64) uint64 {
 	f.maybeAdvance(vd, rv)
 	e := f.entry(addr)
 	state := cache.Shared
-	if e.Sharers == uint64(1)<<vd && e.Owner == -1 {
+	if e.Sharers.Only(vd) && e.Owner == -1 {
 		state = cache.Exclusive
-		e.Sharers = 0
+		e.Sharers = cache.SharerSet{}
 		e.Owner = vd
 		// An Exclusive grant means no other cached copy may remain: drop
 		// the LLC copy (the VD may silently write newer data in place).
@@ -398,6 +413,7 @@ func (f *Frontend) store(tid int, addr uint64, data uint64) uint64 {
 		// An unpersisted version of a closed epoch just migrated into this
 		// VD; hold the recoverable epoch below it until our next walk.
 		f.backend.LowerMinVer(vd, rv, f.now)
+		f.dirtyInflow[vd] = true
 	}
 	lo, hi := f.coresOf(vd)
 	for c := lo; c < hi; c++ {
@@ -407,7 +423,7 @@ func (f *Frontend) store(tid int, addr uint64, data uint64) uint64 {
 		f.l1[c].Invalidate(addr)
 	}
 	e := f.entry(addr)
-	e.Sharers = 0
+	e.Sharers = cache.SharerSet{}
 	e.Owner = vd
 	// The L2 always receives a clean copy (inclusion); a dirty
 	// cache-to-cache transfer lands in the requestor's L1 still dirty.
@@ -534,6 +550,9 @@ func (f *Frontend) tagWalk(vd int) {
 		}
 	})
 	f.stat.Inc("tag_walks")
+	// Every dirty line older than cur was just cleaned: any prior dirty
+	// inflow has been walked out of the domain.
+	f.dirtyInflow[vd] = false
 	f.walkReport[vd] = cur
 	f.bus.Emit(obs.KindWalkStart, f.now, vd, cur, 0, uint64(len(f.walkQ[vd])), 0)
 	if len(f.walkQ[vd]) == 0 {
@@ -617,7 +636,7 @@ func (f *Frontend) evictL2Victim(vd int, victim cache.Line, reason Reason) {
 		}
 	}
 	if e := f.dir.Get(victim.Tag); e != nil {
-		e.Sharers &^= uint64(1) << vd
+		e.Sharers.Remove(vd)
 		if e.Owner == vd {
 			e.Owner = -1
 		}
@@ -668,21 +687,21 @@ func (f *Frontend) fetch(vd int, addr uint64, exclusive bool) (rv, data uint64, 
 	if e.Owner != -1 && e.Owner != vd {
 		lat += f.cfg.RemoteL2Lat
 		rv, data = f.downgradeVD(e.Owner, addr)
-		e.Sharers |= uint64(1) << e.Owner
+		e.Sharers.Add(e.Owner)
 		e.Owner = -1
-		e.Sharers |= uint64(1) << vd
+		e.Sharers.Add(vd)
 		f.stat.Inc("remote_downgrades")
 		return rv, data, lat
 	}
 	slice := f.sliceOf(addr)
 	if ln := slice.Lookup(addr); ln != nil {
 		f.stat.Inc("llc_hits")
-		e.Sharers |= uint64(1) << vd
+		e.Sharers.Add(vd)
 		return ln.OID, ln.Data, lat
 	}
 	f.stat.Inc("llc_misses")
 	lat += f.dram.Latency()
-	e.Sharers |= uint64(1) << vd
+	e.Sharers.Add(vd)
 	return f.dram.OID(addr), f.dram.Data(addr), lat
 }
 
@@ -705,15 +724,19 @@ func (f *Frontend) fetchExclusive(vd int, addr uint64) (rv, data uint64, dirtyXf
 		}
 		f.stat.Inc("remote_invalidations")
 	}
-	for other := 0; other < f.cfg.VDs(); other++ {
-		if other == vd || e.Sharers&(uint64(1)<<other) == 0 {
-			continue
+	// Iterate a value copy: invalidateVD may touch the directory, and the
+	// O(set-bits) walk replaces the old O(VDs) bitmask scan (same ascending
+	// order, so invalidation event order is unchanged).
+	sharers := e.Sharers
+	sharers.ForEach(func(other int) {
+		if other == vd {
+			return
 		}
 		lat += f.cfg.RemoteL2Lat
 		f.invalidateVD(other, addr)
-		e.Sharers &^= uint64(1) << other
+		e.Sharers.Remove(other)
 		f.stat.Inc("remote_invalidations")
-	}
+	})
 	slice := f.sliceOf(addr)
 	if ln := slice.Peek(addr); ln != nil {
 		if !haveData {
@@ -820,7 +843,7 @@ func (f *Frontend) invalidateVD(vd int, addr uint64) (newest cache.Line, wasDirt
 		}
 	}
 	if e := f.dir.Get(addr); e != nil {
-		e.Sharers &^= uint64(1) << vd
+		e.Sharers.Remove(vd)
 		if e.Owner == vd {
 			e.Owner = -1
 		}
@@ -958,7 +981,7 @@ func (f *Frontend) CheckInvariants() error {
 				err = fmt.Errorf("L2 %d holds %#x with no directory entry", vd, ln.Tag)
 				return
 			}
-			if e.Owner != vd && e.Sharers&(uint64(1)<<vd) == 0 {
+			if e.Owner != vd && !e.Sharers.Has(vd) {
 				err = fmt.Errorf("L2 %d holds %#x but directory disagrees", vd, ln.Tag)
 			}
 			if ln.State.Writable() && e.Owner != vd {
@@ -973,5 +996,42 @@ func (f *Frontend) CheckInvariants() error {
 			return err
 		}
 	}
+	// Walker fast-path soundness: with no dirty inflow since the last walk
+	// and an empty walk queue, no stale dirty version may exist (the min-ver
+	// report skips its rescan on exactly this claim). Only meaningful when
+	// the walker actually runs at every advance.
+	for vd := range f.l2 {
+		if !f.walker || f.dirtyInflow[vd] || len(f.walkQ[vd]) > 0 {
+			continue
+		}
+		var err error
+		stale := func(where string) func(*cache.Line) {
+			return func(ln *cache.Line) {
+				if err == nil && ln.Dirty && ln.OID < f.walkedTo(vd) {
+					err = fmt.Errorf("%s holds stale dirty %#x@%d with no inflow flag",
+						where, ln.Tag, ln.OID)
+				}
+			}
+		}
+		lo, hi := f.coresOf(vd)
+		for c := lo; c < hi; c++ {
+			f.l1[c].ForEach(stale(fmt.Sprintf("L1 %d", c)))
+		}
+		f.l2[vd].ForEach(stale(fmt.Sprintf("L2 %d", vd)))
+		if err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// walkedTo returns the epoch below which vd's caches are guaranteed clean
+// when no dirty inflow is pending: the epoch of its last tag walk (cur at
+// walk time). A pending report records it; otherwise the walk ran at the
+// current epoch.
+func (f *Frontend) walkedTo(vd int) uint64 {
+	if f.walkReport[vd] != 0 {
+		return f.walkReport[vd]
+	}
+	return f.cur[vd]
 }

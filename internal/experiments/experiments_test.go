@@ -328,3 +328,62 @@ func TestPrinters(t *testing.T) {
 		}
 	}
 }
+
+func TestScale256Shape(t *testing.T) {
+	pts, err := Scale256(Smoke, []int{64}, []string{"oltp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (PiCL-L2 + NVOverlay)", len(pts))
+	}
+	var nvo, picl Scale256Point
+	for _, p := range pts {
+		if p.Cores != 64 || p.VDs != 32 || p.OMCs != 16 {
+			t.Fatalf("layout %+v, want 64 cores / 32 VDs / 16 OMCs", p)
+		}
+		if p.Workload != "oltp" || p.Accesses == 0 || p.Cycles == 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		switch p.Scheme {
+		case "NVOverlay":
+			nvo = p
+		case "PiCL-L2":
+			picl = p
+		}
+	}
+	// The sweep's reason to exist: NVOverlay's distributed epochs keep it
+	// near the ideal while PiCL-L2's L2-walk traffic grows with the machine.
+	if nvo.NormCycles < 0.95 || nvo.NormCycles > 3.0 {
+		t.Fatalf("NVOverlay = %.2fx ideal, want near 1", nvo.NormCycles)
+	}
+	if picl.NormCycles <= nvo.NormCycles {
+		t.Fatalf("PiCL-L2 (%.2fx) not slower than NVOverlay (%.2fx)", picl.NormCycles, nvo.NormCycles)
+	}
+}
+
+// TestScale256FullDirectory runs the 256-core grid point, which carries
+// both the 128-VD and the 256-VD (1 core/VD) layouts — the latter fills
+// the sharer directory's full 256-domain capacity.
+func TestScale256FullDirectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-core cells; skipped in -short")
+	}
+	pts, err := Scale256(Smoke, []int{256}, []string{"social"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4 (two layouts x two schemes)", len(pts))
+	}
+	vds := map[int]bool{}
+	for _, p := range pts {
+		vds[p.VDs] = true
+		if p.Cycles == 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if !vds[128] || !vds[256] {
+		t.Fatalf("VD layouts %v, want both 128 and 256", vds)
+	}
+}

@@ -133,6 +133,17 @@ func PrintScaling(w io.Writer, pts []ScalePoint) {
 	}
 }
 
+// PrintScale256 renders the big-machine scale sweep.
+func PrintScale256(w io.Writer, pts []Scale256Point) {
+	fmt.Fprintln(w, "Scale sweep: 64-256 cores under zipfian multi-tenant traffic (overhead vs same-size ideal)")
+	fmt.Fprintf(w, "%-8s %-6s %-6s %-10s %12s %12s %14s\n",
+		"cores", "vds", "omcs", "workload", "scheme", "cycles", "norm cycles")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %-6d %-6d %-10s %12s %12d %14.2f\n",
+			p.Cores, p.VDs, p.OMCs, p.Workload, p.Scheme, p.Cycles, p.NormCycles)
+	}
+}
+
 func maxInt64(a, b int64) int64 {
 	if a > b {
 		return a

@@ -18,6 +18,20 @@ type Group struct {
 	cfg  *sim.Config
 	omcs []*OMC
 	stat *stats.Set
+
+	// Min-ver ledger (batched epoch propagation). Every member used to keep
+	// its own per-VD min-ver array and recompute the O(VDs) minimum on every
+	// report, making each tag-walk report O(members x VDs). The group now
+	// aggregates reports once — tracking the minimum incrementally via
+	// (curMin, atMin) — and fans out to members only when the recoverable
+	// floor actually rises, which is exactly when they have merge work to do.
+	// Members compute identical floors from identical report streams, so the
+	// ledger is a pure batching of the old broadcast: same advances, same
+	// merge order, same persisted records.
+	minVer   []uint64
+	curMin   uint64 // min(minVer)
+	atMin    int    // how many VDs sit at curMin
+	recFloor uint64 // last floor fanned out to members
 }
 
 // NewGroup builds n OMCs sharing one NVM device.
@@ -25,7 +39,12 @@ func NewGroup(cfg *sim.Config, nvm *mem.NVM, n int, opts ...Option) *Group {
 	if n <= 0 {
 		n = 1
 	}
-	g := &Group{cfg: cfg, stat: stats.NewSet("omcgroup")}
+	g := &Group{
+		cfg:    cfg,
+		stat:   stats.NewSet("omcgroup"),
+		minVer: make([]uint64, cfg.VDs()),
+		atMin:  cfg.VDs(),
+	}
 	for i := 0; i < n; i++ {
 		o := New(cfg, nvm, i, opts...)
 		// The genesis record lets recovery tell a young run (nothing
@@ -53,22 +72,78 @@ func (g *Group) ReceiveVersion(v Version, now uint64) (stall uint64) {
 	return g.Route(v.Addr).ReceiveVersion(v, now)
 }
 
-// ReportMinVer distributes a VD's min-ver to all members (each computes the
-// same recoverable epoch; the master persists it).
+// ReportMinVer records a VD's min-ver in the group ledger. The modeled
+// hardware still broadcasts the report to every member (the message and
+// per-member report counters are charged exactly as before); the simulator
+// only touches members when the recoverable floor rises.
 func (g *Group) ReportMinVer(vd int, ver uint64, now uint64) {
-	for _, o := range g.omcs {
-		o.ReportMinVer(vd, ver, now)
-	}
 	g.stat.Add("minver_messages", int64(len(g.omcs)))
+	g.stat.Add("minver_reports", int64(len(g.omcs)))
+	old := g.minVer[vd]
+	if ver < old {
+		// A VD's view may regress transiently if an older version surfaced;
+		// take the conservative minimum (no advance attempt, as before).
+		g.minVer[vd] = ver
+		g.ledgerLower(old, ver)
+		return
+	}
+	g.minVer[vd] = ver
+	g.ledgerRaise(old, ver)
+	er := g.curMin
+	if er > 0 {
+		er--
+	}
+	if er <= g.recFloor {
+		return
+	}
+	for _, o := range g.omcs {
+		o.advanceRecEpochTo(er, now)
+	}
+	g.recFloor = er
 }
 
 // LowerMinVer lowers a VD's standing min-ver on every member (a dirty old
 // version migrated into the VD via cache-to-cache transfer).
 func (g *Group) LowerMinVer(vd int, ver uint64, now uint64) {
-	for _, o := range g.omcs {
-		o.LowerMinVer(vd, ver, now)
-	}
 	g.stat.Add("minver_lower_messages", int64(len(g.omcs)))
+	if ver < g.minVer[vd] {
+		old := g.minVer[vd]
+		g.minVer[vd] = ver
+		g.ledgerLower(old, ver)
+		g.stat.Add("minver_lowered", int64(len(g.omcs)))
+	}
+}
+
+// ledgerLower folds a vd's min-ver drop old -> ver into (curMin, atMin).
+func (g *Group) ledgerLower(old, ver uint64) {
+	switch {
+	case ver < g.curMin:
+		g.curMin, g.atMin = ver, 1
+	case ver == g.curMin:
+		// old > ver == curMin, so this VD was not counted at the min yet.
+		g.atMin++
+	}
+}
+
+// ledgerRaise folds a vd's min-ver rise old -> ver into (curMin, atMin); a
+// full rescan happens only when the last VD leaves the minimum — which is
+// when the floor moves and members do merge work anyway.
+func (g *Group) ledgerRaise(old, ver uint64) {
+	if old == ver || old != g.curMin {
+		return
+	}
+	g.atMin--
+	if g.atMin == 0 {
+		g.curMin = g.minVer[0]
+		g.atMin = 1
+		for _, v := range g.minVer[1:] {
+			if v < g.curMin {
+				g.curMin, g.atMin = v, 1
+			} else if v == g.curMin {
+				g.atMin++
+			}
+		}
+	}
 }
 
 // DumpContext persists a VD's context through the master OMC.

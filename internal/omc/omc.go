@@ -226,6 +226,14 @@ func (o *OMC) advanceRecEpoch(now uint64) {
 	if er > 0 {
 		er--
 	}
+	o.advanceRecEpochTo(er, now)
+}
+
+// advanceRecEpochTo raises the recoverable epoch to er (a floor the caller
+// already established, either from this OMC's own min-ver array or from the
+// group ledger), merging the epochs that became recoverable.
+func (o *OMC) advanceRecEpochTo(er, now uint64) {
+	o.now = now
 	if er <= o.recEpoch {
 		return
 	}

@@ -98,6 +98,32 @@ func TestFig11BytesEqualAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestScaleSweepEqualAcrossJobs is the same contract for the big-machine
+// scale sweep: a 64-core smoke grid over both zipfian generators must
+// render byte-identically at Jobs=1 and Jobs=8 — the exact check CI's
+// scale-smoke job applies to the 256-core quick cells via cmp.
+func TestScaleSweepEqualAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-simulation sweep; skipped in -short")
+	}
+	render := func(jobs int) []byte {
+		scale := experiments.Smoke
+		scale.Jobs = jobs
+		pts, err := experiments.Scale256(scale, []int{64}, nil)
+		if err != nil {
+			t.Fatalf("Scale256 jobs=%d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		experiments.PrintScale256(&buf, pts)
+		return buf.Bytes()
+	}
+	serial := render(1)
+	par := render(8)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("Scale256 output differs between Jobs=1 and Jobs=8:\n-- serial --\n%s\n-- parallel --\n%s", serial, par)
+	}
+}
+
 // TestFaultSweepEqualAcrossJobs checks the diffcheck crash-point grid: the
 // aggregate FaultResult — points, tallies and the concatenated canonical
 // fault Schedule string — must be deeply equal at 1 and 8 workers.

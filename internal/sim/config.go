@@ -16,6 +16,11 @@ type Config struct {
 	Cores      int // total cores (paper: 16)
 	CoresPerVD int // cores sharing one L2 / versioned domain (paper: 2)
 	LLCSlices  int // distributed LLC slices (paper-style multi-slice LLC)
+	// OMCs is the number of overlay memory controllers sharing the NVM
+	// plane. 0 selects the historical default of 4 (the paper's 16-core
+	// machine); big-machine scale configs raise it so per-OMC epoch tables
+	// and bank queues stay proportionate to core count.
+	OMCs int
 
 	// Cache geometry. Sizes are in bytes; LineSize divides all of them.
 	LineSize int
@@ -168,6 +173,13 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: Cores must be positive, got %d", c.Cores)
 	case c.CoresPerVD <= 0 || c.Cores%c.CoresPerVD != 0:
 		return fmt.Errorf("sim: CoresPerVD %d must divide Cores %d", c.CoresPerVD, c.Cores)
+	case c.VDs() > maxVDs:
+		// The bound is cache.SharerSet's fixed capacity (sim sits below
+		// cache in the dependency tower, so the constant is mirrored here).
+		return fmt.Errorf("sim: %d versioned domains exceed the directory's %d-domain capacity",
+			c.VDs(), maxVDs)
+	case c.OMCs < 0:
+		return fmt.Errorf("sim: OMCs must be non-negative, got %d", c.OMCs)
 	case c.LLCSlices <= 0:
 		return fmt.Errorf("sim: LLCSlices must be positive, got %d", c.LLCSlices)
 	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
@@ -196,6 +208,10 @@ func (c *Config) Validate() error {
 	}
 	return nil
 }
+
+// maxVDs mirrors cache.MaxSharers (the SharerSet capacity) without
+// importing it.
+const maxVDs = 256
 
 // validFaultClass mirrors fault.ValidClass without importing it (sim is the
 // bottom of the dependency tower).

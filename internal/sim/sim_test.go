@@ -219,3 +219,67 @@ func TestClocksMinProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClocksRetireAndMinLive(t *testing.T) {
+	c := NewClocks(5)
+	for i := 0; i < 5; i++ {
+		c.Advance(i, uint64(10*(i+1)))
+	}
+	if got := c.MinLive(); got != 0 {
+		t.Fatalf("MinLive = %d, want 0", got)
+	}
+	c.Retire(0)
+	c.Retire(1)
+	if got := c.MinLive(); got != 2 {
+		t.Fatalf("MinLive after retiring 0,1 = %d, want 2", got)
+	}
+	c.Advance(2, 1000)
+	if got := c.MinLive(); got != 3 {
+		t.Fatalf("MinLive after advancing 2 = %d, want 3", got)
+	}
+	for i := 2; i < 5; i++ {
+		c.Retire(i)
+	}
+	if got := c.MinLive(); got != -1 {
+		t.Fatalf("MinLive all-retired = %d, want -1", got)
+	}
+}
+
+// Property: the tournament tree agrees with the linear reference scan —
+// same winner, including MinAmong's first-minimum tie-break — through any
+// interleaving of advances and retirements. This is the equivalence that
+// keeps the big-machine driver loop byte-identical to the old
+// live-slice/MinAmong loop.
+func TestClocksTournamentMatchesMinAmong(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 64, 100, 256} {
+		rng := NewRNG(int64(n))
+		c := NewClocks(n)
+		live := make([]bool, n)
+		for i := range live {
+			live[i] = true
+		}
+		for step := 0; step < 2000; step++ {
+			want := c.MinAmong(live)
+			if got := c.MinLive(); got != want {
+				t.Fatalf("n=%d step %d: MinLive = %d, MinAmong = %d", n, step, got, want)
+			}
+			if want < 0 {
+				break
+			}
+			// Mostly advance the winner (the driver's pattern), sometimes a
+			// random live thread, occasionally retire one.
+			switch rng.Intn(10) {
+			case 0:
+				c.Retire(want)
+				live[want] = false
+			case 1:
+				tid := rng.Intn(n)
+				if live[tid] {
+					c.AdvanceTo(tid, c.Now(tid)+uint64(rng.Intn(50)))
+				}
+			default:
+				c.Advance(want, uint64(rng.Intn(20))) // ties are common on 0
+			}
+		}
+	}
+}

@@ -233,18 +233,14 @@ func (d *Driver) Run() Summary {
 	d.wl.Setup(d.heap, setupRNG)
 	d.heap.SetRecording(true)
 
-	live := make([]bool, d.cfg.Cores)
-	for i := range live {
-		live[i] = true
-	}
 	var ops, stores uint64
 	for d.issued < d.target {
-		tid := d.clocks.MinAmong(live)
+		tid := d.clocks.MinLive()
 		if tid < 0 {
 			break
 		}
 		if !d.wl.Step(tid, d.heap, d.rngs[tid]) {
-			live[tid] = false
+			d.clocks.Retire(tid)
 			d.heap.ResetOps()
 			continue
 		}

@@ -57,6 +57,7 @@ func (w *KMeans) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
 	if !w.th.next(tid) {
 		return false
 	}
+	w.cursor = growTids(w.cursor, tid)
 	p := (w.cursor[tid]*16 + tid) % w.n // strided per-thread partition
 	w.cursor[tid]++
 	h.LoadRange(w.pointsA+uint64(p*w.dim*8), w.dim*8)
@@ -257,7 +258,9 @@ func (w *Labyrinth) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
 		}
 		i := w.idx(cx, cy, cz)
 		if w.grid[i] == 0 {
-			w.grid[i] = uint8(tid + 1)
+			// tid%255+1 keeps the claim marker non-zero for every thread id
+			// (identical to tid+1 for the historical <=254-thread runs).
+			w.grid[i] = uint8(tid%255 + 1)
 			h.Store(w.cellAddr(i))
 		} else {
 			h.Load(w.cellAddr(i)) // blocked: reroute reads around it

@@ -163,6 +163,7 @@ func (w *Genome) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
 	if !w.th.next(tid) {
 		return false
 	}
+	w.inserted = growTids(w.inserted, tid)
 	if w.inserted[tid] < len(w.segPool)/16 {
 		// Phase 1: sequence a read and dedup it. Reads sample the pool with
 		// repetition, so duplicates really collapse in the table.
@@ -274,6 +275,7 @@ func (w *Yada) Step(tid int, h *trace.Heap, rng *sim.RNG) bool {
 	if !w.th.next(tid) {
 		return false
 	}
+	w.next = growTids(w.next, tid)
 	center := rng.Intn(w.ntris)
 	// Read the cavity: the triangle and ~8 neighbours.
 	for i := 0; i < 8; i++ {

@@ -4,8 +4,12 @@
 // insertion) and re-implementations of the eight STAMP applications'
 // memory behaviour (labyrinth, bayes, yada, intruder, vacation, kmeans,
 // genome, ssca2). Every workload is a real algorithm running over the
-// tracked heap; 16 worker threads step operations against shared state, so
+// tracked heap; worker threads step operations against shared state, so
 // coherence traffic, capacity pressure and write bursts arise naturally.
+// Beyond the paper's twelve, the big-machine scale sweeps add two
+// zipfian production-skew generators (oltp, social — see kernels3.go);
+// they are registered for Get but excluded from Names so the default
+// figure grids stay exactly the paper's.
 package workload
 
 import (
@@ -33,15 +37,27 @@ var registry = map[string]func() trace.Workload{
 	"kmeans":    func() trace.Workload { return NewKMeans() },
 	"genome":    func() trace.Workload { return NewGenome() },
 	"ssca2":     func() trace.Workload { return NewSSCA2() },
+	// Beyond-the-paper scale-sweep generators (zipfian production skew).
+	"oltp":   func() trace.Workload { return NewOLTP() },
+	"social": func() trace.Workload { return NewSocial() },
 }
 
-// Names returns all workload names in the paper's Figure 11 order.
+// Names returns the paper's twelve workload names in Figure 11 order. The
+// figure experiments iterate exactly this set, so the beyond-the-paper
+// scale generators live in AllNames instead — appending them here would
+// silently change the default figure grids.
 func Names() []string {
 	return []string{
 		"hashtable", "btree", "art", "rbtree",
 		"labyrinth", "bayes", "yada", "intruder",
 		"vacation", "kmeans", "genome", "ssca2",
 	}
+}
+
+// AllNames returns every registered workload: the paper's twelve plus the
+// beyond-the-paper scale-sweep generators.
+func AllNames() []string {
+	return append(Names(), "oltp", "social")
 }
 
 // Get constructs a workload by name.
@@ -74,11 +90,24 @@ func newThreads(quota int) *threads {
 
 // next reports whether tid may run another op, counting it.
 func (t *threads) next(tid int) bool {
+	t.done = growTids(t.done, tid)
 	if t.done[tid] >= t.quota {
 		return false
 	}
 	t.done[tid]++
 	return true
+}
+
+// growTids extends a per-thread counter slice to cover tid. Workloads size
+// these slices for the historical 16-core machine at construction; the
+// big-machine scale sweeps run the same workloads with up to 256 threads,
+// and growing on demand keeps the behaviour for existing thread ids
+// byte-identical (their counters never move or reset).
+func growTids(s []int, tid int) []int {
+	for len(s) <= tid {
+		s = append(s, 0)
+	}
+	return s
 }
 
 var _ = sim.NewRNG // keep import for constructors below

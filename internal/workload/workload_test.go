@@ -26,6 +26,19 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("workload %q reports name %q", n, w.Name())
 		}
 	}
+	all := AllNames()
+	if len(all) != len(registry) {
+		t.Fatalf("AllNames lists %d workloads, registry has %d", len(all), len(registry))
+	}
+	for _, n := range all {
+		w, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if w.Name() != n {
+			t.Fatalf("workload %q reports name %q", n, w.Name())
+		}
+	}
 	if _, err := Get("nonsense"); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
