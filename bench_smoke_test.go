@@ -50,6 +50,8 @@ func TestBenchmarkSmoke(t *testing.T) {
 		{"Schemes", BenchmarkSchemes},
 		{"FileSeal", BenchmarkFileSeal},
 		{"FileSealFaulted", BenchmarkFileSealFaulted},
+		{"TraceEncode", BenchmarkTraceEncode},
+		{"TraceDecode", BenchmarkTraceDecode},
 		{"WrapAround", BenchmarkWrapAround},
 	}
 	for _, bench := range benches {

@@ -9,12 +9,15 @@
 package repro
 
 import (
+	"io"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracefile"
 )
 
 // BenchmarkTable2 measures raw simulator throughput on the ideal machine
@@ -244,6 +247,97 @@ func BenchmarkFileSealFaulted(b *testing.B) {
 			b.ReportMetric(float64(len(ffs.Events())), "faults/op")
 		}
 	}
+}
+
+// traceBenchBlock generates the access stream the trace codec benchmarks
+// run on: one million accesses mirroring a driver stream — 16 threads,
+// line-aligned addresses over a 16 MB span, half stores with monotonic
+// payload tokens.
+func traceBenchBlock() []trace.Access {
+	rng := sim.NewRNG(42)
+	block := make([]trace.Access, 1<<20)
+	var token uint64
+	for i := range block {
+		a := trace.Access{
+			Tid:  int(rng.Uint64n(16)),
+			Addr: (1 << 30) + rng.Uint64n(1<<18)<<6,
+		}
+		if rng.Uint64n(100) < 50 {
+			token++
+			a.Write = true
+			a.Data = token
+		}
+		block[i] = a
+	}
+	return block
+}
+
+var traceBenchShape = tracefile.Shape{Cores: 16, CoresPerVD: 4, LineSize: 64, Seed: 42}
+
+// BenchmarkTraceEncode measures TRC1 encode throughput: a million-access
+// stream delta/varint-encoded into an in-memory trace file per iteration.
+func BenchmarkTraceEncode(b *testing.B) {
+	block := traceBenchBlock()
+	fsys := fault.NewMemFS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := tracefile.Create(fsys, "bench.trc", traceBenchShape)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range block {
+			if err := w.Append(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(block))*float64(b.N)/b.Elapsed().Seconds(), "accesses/sec")
+}
+
+// BenchmarkTraceDecode measures TRC1 decode throughput: the same
+// million-access trace encoded once, then streamed back per iteration.
+func BenchmarkTraceDecode(b *testing.B) {
+	block := traceBenchBlock()
+	fsys := fault.NewMemFS()
+	w, err := tracefile.Create(fsys, "bench.trc", traceBenchShape)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range block {
+		if err := w.Append(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := tracefile.OpenReader(fsys, "bench.trc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var decoded uint64
+		for {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+			decoded++
+		}
+		if decoded != uint64(len(block)) {
+			b.Fatalf("decoded %d of %d records", decoded, len(block))
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(block))*float64(b.N)/b.Elapsed().Seconds(), "accesses/sec")
 }
 
 // BenchmarkWrapAround exercises the 16-bit epoch wrap-around path

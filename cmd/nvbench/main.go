@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/parallel"
 	"repro/internal/sim"
@@ -111,7 +112,7 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs := flag.NewFlagSet("nvbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	o := options{}
-	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, fileplane, scale256, all")
+	fs.StringVar(&o.exp, "exp", "all", "experiment: config, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig17b, ablate-superblock, ablate-scaling, ablate-walker, timeline, fileplane, scale256, tracefile, all")
 	fs.StringVar(&o.scale, "scale", "quick", "run scale: smoke, quick, full")
 	fs.StringVar(&o.wlCSV, "workloads", "", "comma-separated workload subset (default: the paper's twelve; scale256 defaults to oltp,social)")
 	fs.StringVar(&o.coresCSV, "cores", "", "comma-separated core counts for scale256 (default: 64,128,256)")
@@ -406,11 +407,42 @@ func run(o options, out io.Writer) error {
 			experiments.PrintFilePlane(out, st)
 			return st, nil
 		}},
+		{"tracefile", func() (any, error) {
+			dir, err := os.MkdirTemp("", "nvbench-tracefile-*")
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				if rerr := os.RemoveAll(dir); rerr != nil {
+					fmt.Fprintln(os.Stderr, "nvbench: tracefile cleanup:", rerr)
+				}
+			}()
+			seed := o.seed
+			if seed == 0 {
+				seed = 42
+			}
+			records := uint64(4_000_000)
+			switch sc.Name {
+			case "smoke":
+				records = 250_000
+			case "full":
+				records = 16_000_000
+			}
+			t0 := time.Now()
+			clock := func() float64 { return time.Since(t0).Seconds() }
+			st, err := experiments.TraceFileProfile(
+				fault.OS, filepath.Join(dir, "profile.trc"), records, seed, clock)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintTraceFile(out, st)
+			return st, nil
+		}},
 	}
 
-	// The timeline, fileplane and scale256 experiments only run when asked
-	// for — by name (or, for timeline, by -timeline / implicitly by
-	// -events) — so "all" keeps regenerating exactly the paper's figures.
+	// The timeline, fileplane, scale256 and tracefile experiments only run
+	// when asked for — by name (or, for timeline, by -timeline / implicitly
+	// by -events) — so "all" keeps regenerating exactly the paper's figures.
 	wantTimeline := o.timeline || o.events != ""
 	all := o.exp == "all"
 	matched := false
@@ -419,7 +451,7 @@ func run(o options, out io.Writer) error {
 		switch spec.name {
 		case "timeline":
 			sel = sel || wantTimeline
-		case "fileplane", "scale256":
+		case "fileplane", "scale256", "tracefile":
 			// explicit selection only
 		default:
 			sel = sel || all

@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -61,6 +62,8 @@ type options struct {
 	events   string           // capture the single trace's JSONL event stream here
 	timeline bool             // print the single trace's per-epoch rollup timeline
 	vevents  string           // standalone mode: schema-check this JSONL file and exit
+	record   string           // record the single trace to this TRC1 file, then cross-check the file replay
+	replay   string           // standalone mode: replay a recorded TRC1 trace file
 
 	crashsoak bool   // kill -9 crash-restart soak over a file-backed store
 	loops     int    // crash-soak iterations
@@ -102,6 +105,8 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	fs.StringVar(&o.events, "events", "", "write the single trace's JSONL event stream to this file (implies single-trace mode)")
 	fs.BoolVar(&o.timeline, "timeline", false, "print the single trace's per-epoch rollup timeline (implies single-trace mode)")
 	fs.StringVar(&o.vevents, "validate-events", "", "schema-check a captured JSONL event stream and exit")
+	fs.StringVar(&o.record, "record", "", "record the single trace to this TRC1 file, then verify the file replay matches the in-memory run (implies single-trace mode)")
+	fs.StringVar(&o.replay, "replay", "", "replay a recorded TRC1 trace file through the differential harness (standalone mode)")
 	fs.BoolVar(&o.crashsoak, "crashsoak", false, "crash-restart soak: re-exec child writers onto a file store, kill -9, salvage, diff")
 	fs.IntVar(&o.loops, "loops", 30, "crash-soak iterations")
 	fs.StringVar(&o.store, "store", "", "crash-soak store base directory (default: a temp dir, removed afterwards)")
@@ -145,6 +150,15 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 	if o.events != "" || o.timeline {
 		o.single = true
 	}
+	if o.record != "" {
+		o.single = true
+		if o.events != "" || o.timeline {
+			return options{}, fmt.Errorf("nvcheck: -record runs the trace twice (memory + file) and cannot also capture events; drop -events/-timeline")
+		}
+	}
+	if o.replay != "" && (o.faults || o.single || o.vevents != "" || o.crashsoak || o.diskfaults) {
+		return options{}, fmt.Errorf("nvcheck: -replay is a standalone mode (the trace file supplies all parameters)")
+	}
 	if o.faults && o.single {
 		return options{}, fmt.Errorf("nvcheck: -faults soak and single-trace flags are mutually exclusive")
 	}
@@ -180,6 +194,9 @@ func parseFlags(args []string, errOut io.Writer) (options, error) {
 		if err := o.p.Validate(); err != nil {
 			return options{}, err
 		}
+	}
+	if o.record != "" && o.p.Fault != "" {
+		return options{}, fmt.Errorf("nvcheck: -record cannot capture a fault regime (the fault schedule is not part of the access stream)")
 	}
 	if o.faults {
 		if o.fseeds <= 0 {
@@ -448,6 +465,66 @@ func runCrashSoak(ctx context.Context, o options, w io.Writer) error {
 	return nil
 }
 
+// traceOkLine renders the standard per-trace verdict line.
+func traceOkLine(res diffcheck.Result) string {
+	return fmt.Sprintf("trace ok: epochs=%d rec-epoch=%d boundary-verifies=%d crash-verifies=%d wrap-flushes=%d lines=%d baselines=%v",
+		res.MaxEpoch, res.RecEpoch, res.BoundaryVerifies, res.CrashVerifies,
+		res.WrapFlushes, res.Lines, res.Baselines)
+}
+
+// runRecord records the single trace as a TRC1 file, runs the trace both
+// in memory and from the recording, and requires the two runs to agree
+// exactly — the CLI form of the record → replay → diffcheck cross-check.
+func runRecord(o options, w io.Writer, start time.Time) error {
+	info, err := diffcheck.RecordTrace(fault.OS, o.record, o.p)
+	if err != nil {
+		return fmt.Errorf("nvcheck: recording %s: %w", o.record, err)
+	}
+	fmt.Fprintf(w, "recorded %d accesses in %d chunks (%d bytes) to %s\n",
+		info.Records, info.Chunks, info.Bytes, o.record)
+	res, d := diffcheck.Run(o.p)
+	if d != nil {
+		fmt.Fprintln(w, d.Error())
+		return fmt.Errorf("1 divergence")
+	}
+	fres, fd, err := diffcheck.RunFile(fault.OS, o.record)
+	if err != nil {
+		return fmt.Errorf("nvcheck: replaying %s: %w", o.record, err)
+	}
+	if fd != nil {
+		fmt.Fprintln(w, fd.Error())
+		return fmt.Errorf("1 divergence (file replay)")
+	}
+	if !reflect.DeepEqual(res, fres) {
+		return fmt.Errorf("nvcheck: file replay of %s does not match the in-memory run:\n  memory %+v\n  file   %+v", o.record, res, fres)
+	}
+	fmt.Fprintf(w, "%s\n", traceOkLine(res))
+	fmt.Fprintf(w, "file replay matches the in-memory run; 0 divergences in 2 runs (%v)\n",
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runReplay replays a recorded trace file through the full differential
+// harness; every parameter comes from the file's checksummed header.
+func runReplay(o options, w io.Writer, start time.Time) error {
+	p, err := diffcheck.ReadParams(fault.OS, o.replay)
+	if err != nil {
+		return fmt.Errorf("nvcheck: reading %s: %w", o.replay, err)
+	}
+	fmt.Fprintf(w, "replaying %s: %s\n", o.replay, p.FlagString())
+	res, d, err := diffcheck.RunFile(fault.OS, o.replay)
+	if err != nil {
+		return fmt.Errorf("nvcheck: replaying %s: %w", o.replay, err)
+	}
+	if d != nil {
+		fmt.Fprintln(w, d.Error())
+		return fmt.Errorf("1 divergence")
+	}
+	fmt.Fprintf(w, "%s\n", traceOkLine(res))
+	fmt.Fprintf(w, "0 divergences in 1 replayed trace (%v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 // run executes the requested sweep or single trace, reporting to w. A
 // divergence is printed in full (with its reproducer) and returned as an
 // error so main can exit non-zero; an interrupted soak flushes its partial
@@ -456,6 +533,9 @@ func run(ctx context.Context, o options, w io.Writer) error {
 	start := time.Now()
 	if o.vevents != "" {
 		return validateEvents(o.vevents, w)
+	}
+	if o.replay != "" {
+		return runReplay(o, w, start)
 	}
 	if o.crashsoak {
 		return runCrashSoak(ctx, o, w)
@@ -518,14 +598,15 @@ func run(ctx context.Context, o options, w io.Writer) error {
 			fmt.Fprintf(w, "0 divergences in 1 trace (%v)\n", time.Since(start).Round(time.Millisecond))
 			return nil
 		}
+		if o.record != "" {
+			return runRecord(o, w, start)
+		}
 		res, d := diffcheck.RunObserved(o.p, bus)
 		if d != nil {
 			fmt.Fprintln(w, d.Error())
 			return fmt.Errorf("1 divergence")
 		}
-		fmt.Fprintf(w, "trace ok: epochs=%d rec-epoch=%d boundary-verifies=%d crash-verifies=%d wrap-flushes=%d lines=%d baselines=%v\n",
-			res.MaxEpoch, res.RecEpoch, res.BoundaryVerifies, res.CrashVerifies,
-			res.WrapFlushes, res.Lines, res.Baselines)
+		fmt.Fprintf(w, "%s\n", traceOkLine(res))
 		if err := report(); err != nil {
 			return err
 		}

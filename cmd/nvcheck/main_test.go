@@ -279,4 +279,63 @@ func TestParseFlagErrors(t *testing.T) {
 	if _, err := parseFlags([]string{"-diskfaults", "-cores", "4"}, io.Discard); err == nil {
 		t.Fatal("-diskfaults combined with single-trace flags accepted")
 	}
+	if _, err := parseFlags([]string{"-replay", "x.trc", "-cores", "4"}, io.Discard); err == nil {
+		t.Fatal("-replay combined with trace flags accepted")
+	}
+	if _, err := parseFlags([]string{"-replay", "x.trc", "-record", "y.trc"}, io.Discard); err == nil {
+		t.Fatal("-replay combined with -record accepted")
+	}
+	if _, err := parseFlags([]string{"-record", "x.trc", "-fault", "torn"}, io.Discard); err == nil {
+		t.Fatal("-record combined with a fault regime accepted")
+	}
+	if _, err := parseFlags([]string{"-record", "x.trc", "-events", "e.jsonl"}, io.Discard); err == nil {
+		t.Fatal("-record combined with -events accepted")
+	}
+}
+
+// TestRecordReplayModes drives the full CLI loop: record a single trace to
+// a file, verify the recording run cross-checks file vs memory, then
+// replay the same file standalone.
+func TestRecordReplayModes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.trc")
+	args := strings.Fields("-seed 7 -cores 4 -vdcores 2 -steps 900 -lines 64 -share 60 -write 50 -epoch 10 -pattern uniform -omcs 2 -crash 3")
+	o, err := parseFlags(append(args, "-record", path), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.single {
+		t.Fatal("-record did not imply single-trace mode")
+	}
+	var out strings.Builder
+	if err := run(context.Background(), o, &out); err != nil {
+		t.Fatalf("record run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"recorded 900 accesses", "trace ok:", "file replay matches the in-memory run"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("record output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	ro, err := parseFlags([]string{"-replay", path}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rout strings.Builder
+	if err := run(context.Background(), ro, &rout); err != nil {
+		t.Fatalf("replay run failed: %v\n%s", err, rout.String())
+	}
+	for _, want := range []string{"replaying " + path, "-seed 7", "trace ok:", "0 divergences in 1 replayed trace"} {
+		if !strings.Contains(rout.String(), want) {
+			t.Fatalf("replay output missing %q:\n%s", want, rout.String())
+		}
+	}
+
+	// A missing file fails loudly.
+	bad, err := parseFlags([]string{"-replay", filepath.Join(t.TempDir(), "nope.trc")}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), bad, io.Discard); err == nil {
+		t.Fatal("missing trace file replayed cleanly")
+	}
 }

@@ -357,9 +357,14 @@ func CountSuppressions(pkgs []*Package) int {
 // the big-machine scale sweep: the driver loop, the workload generators
 // (including the zipfian scale kernels) and the figure/sweep reductions
 // all feed the byte-identical figure outputs directly.
+// internal/tracefile is the record/replay codec: a recorded trace must
+// replay byte-identically, so its encode/decode paths are as
+// simulation-visible as the driver that feeds them, and a dropped
+// file-plane error there is a silently damaged trace (errcheck scope).
 var simVisible = prefixMatcher(
 	"repro/internal/sim",
 	"repro/internal/trace",
+	"repro/internal/tracefile",
 	"repro/internal/workload",
 	"repro/internal/experiments",
 	"repro/internal/fault",
@@ -382,6 +387,7 @@ var simVisible = prefixMatcher(
 var errcheckScope = prefixMatcher(
 	"repro/internal/mem",
 	"repro/internal/recovery",
+	"repro/internal/tracefile",
 	"repro/internal/omc",
 	"repro/internal/soak",
 	"repro/cmd/nvrecover",

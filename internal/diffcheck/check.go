@@ -74,18 +74,38 @@ func RunObserved(p Params, bus *obs.Bus) (Result, *Divergence) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	res, d, err := runSource(p, genSource{p}, bus)
+	if err != nil {
+		panic(err) // generated sources cannot fail
+	}
+	return res, d
+}
+
+// runSource replays one trace — generated or file-backed — through
+// NVOverlay and the baseline rotation, cross-checking every scheme against
+// the golden model. The error return carries source failures (trace-file
+// damage, short files); divergences stay *Divergence.
+func runSource(p Params, src stepSource, bus *obs.Bus) (Result, *Divergence, error) {
 	res := Result{Params: p}
-	if d := replayNVOverlay(p, &res, p.Steps, true, bus); d != nil {
+	d, err := replayNVOverlay(p, src, &res, p.Steps, true, bus)
+	if err != nil {
+		return res, nil, err
+	}
+	if d != nil {
 		d.MinSteps = Minimize(p)
-		return res, d
+		return res, d, nil
 	}
 	for _, name := range baselineRotation(p) {
-		if d := replayBaseline(p, name, &res, bus); d != nil {
-			return res, d
+		d, err := replayBaseline(p, src, name, &res, bus)
+		if err != nil {
+			return res, nil, err
+		}
+		if d != nil {
+			return res, d, nil
 		}
 		res.Baselines = append(res.Baselines, name)
 	}
-	return res, nil
+	return res, nil, nil
 }
 
 // baselineRotation picks the baseline schemes cross-checked alongside
@@ -100,11 +120,11 @@ func baselineRotation(p Params) []string {
 // verifying the recovered image at every recoverable-epoch advance and at
 // each crash probe. With finish set it also drains, seals, and verifies
 // the final image, the replica path, and time-travel reads; without it the
-// run ends in a crash probe at step n (Minimize uses that mode).
-func replayNVOverlay(p Params, res *Result, n int, finish bool, bus *obs.Bus) *Divergence {
+// run ends in a crash probe at step n (Minimize uses that mode). The error
+// return carries step-source failures (trace-file damage, short files).
+func replayNVOverlay(p Params, src stepSource, res *Result, n int, finish bool, bus *obs.Bus) (*Divergence, error) {
 	cfg := p.Config()
 	cfg.Obs = bus
-	ops := p.Ops()[:n]
 	nv := core.New(&cfg, core.WithRetention(), core.WithOMCs(p.OMCs))
 	clocks := sim.NewClocks(cfg.Cores)
 	nv.Bind(clocks)
@@ -115,37 +135,51 @@ func replayNVOverlay(p Params, res *Result, n int, finish bool, bus *obs.Bus) *D
 	}
 	crash := p.crashSteps()
 	lastRec := nv.Group().RecEpoch()
-	for i, op := range ops {
+	var dd *Divergence
+	err := src.each(n, func(i int, op Step) bool {
 		lat := nv.Access(op.Tid, op.Addr, op.Write, op.Data)
 		clocks.Advance(op.Tid, lat+pipelineCost)
 		if op.Write {
 			oid := nv.LastStoreOID()
 			if oid == 0 {
-				return div("store-oid", i, "store to %#x was assigned no epoch tag", op.Addr)
+				dd = div("store-oid", i, "store to %#x was assigned no epoch tag", op.Addr)
+				return false
 			}
 			if err := g.Store(i, cfg.LineAddr(op.Addr), oid, op.Data); err != nil {
-				return div("epoch-monotonicity", i, "%v", err)
+				dd = div("epoch-monotonicity", i, "%v", err)
+				return false
 			}
 		}
 		if rec := nv.Group().RecEpoch(); rec != lastRec {
 			if rec < lastRec {
-				return div("rec-epoch-regression", i, "recoverable epoch fell from %d to %d", lastRec, rec)
+				dd = div("rec-epoch-regression", i, "recoverable epoch fell from %d to %d", lastRec, rec)
+				return false
 			}
 			if d := verifyRecovered(p, nv, g, rec, i, "boundary-image"); d != nil {
-				return d
+				dd = d
+				return false
 			}
 			res.BoundaryVerifies++
 			lastRec = rec
 		}
 		if crash[i] {
 			if err := nv.Frontend().CheckInvariants(); err != nil {
-				return div("cst-invariant", i, "%v", err)
+				dd = div("cst-invariant", i, "%v", err)
+				return false
 			}
 			if d := verifyRecovered(p, nv, g, nv.Group().RecEpoch(), i, "crash-image"); d != nil {
-				return d
+				dd = d
+				return false
 			}
 			res.CrashVerifies++
 		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dd != nil {
+		return dd, nil
 	}
 	for vd := 0; vd < cfg.VDs(); vd++ {
 		if e := nv.Frontend().CurEpoch(vd); e > res.MaxEpoch {
@@ -155,23 +189,23 @@ func replayNVOverlay(p Params, res *Result, n int, finish bool, bus *obs.Bus) *D
 	res.WrapFlushes = nv.Frontend().WrapFlushes()
 	res.Lines = g.Lines()
 	if err := nv.Frontend().CheckInvariants(); err != nil {
-		return div("cst-invariant", n-1, "%v", err)
+		return div("cst-invariant", n-1, "%v", err), nil
 	}
 	if !finish {
 		// Crash at step n: whatever is recoverable now must be consistent.
-		return verifyRecovered(p, nv, g, nv.Group().RecEpoch(), n-1, "crash-image")
+		return verifyRecovered(p, nv, g, nv.Group().RecEpoch(), n-1, "crash-image"), nil
 	}
 	nv.Drain(clocks.Max())
 	res.RecEpoch = nv.Group().RecEpoch()
 	img, _ := recovery.Recover(nv.Group())
 	want := g.Final()
 	if err := recovery.Verify(img, want); err != nil {
-		return div("final-image", -1, "%v\n  %s", err, diffImages(img, want))
+		return div("final-image", -1, "%v\n  %s", err, diffImages(img, want)), nil
 	}
 	repl := recovery.NewReplica()
 	recovery.Replicate(nv.Group(), repl)
 	if err := recovery.Verify(repl.Image(), want); err != nil {
-		return div("replica-image", -1, "%v\n  %s", err, diffImages(repl.Image(), want))
+		return div("replica-image", -1, "%v\n  %s", err, diffImages(repl.Image(), want)), nil
 	}
 	// Time-travel spot checks against the golden history (full retention
 	// makes every epoch's value exactly recoverable).
@@ -186,11 +220,11 @@ func replayNVOverlay(p Params, res *Result, n int, finish bool, bus *obs.Bus) *D
 			if ok != wok || (ok && (data != wdata || fe != wfe)) {
 				return div("time-travel", -1,
 					"addr %#x at epoch %d: got (data=%d, epoch=%d, ok=%v), want (data=%d, epoch=%d, ok=%v)",
-					addr, e, data, fe, ok, wdata, wfe, wok)
+					addr, e, data, fe, ok, wdata, wfe, wok), nil
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // verifyRecovered cross-checks the recovered image against the golden
@@ -235,10 +269,9 @@ func newBaseline(name string, cfg *sim.Config) baselineScheme {
 // dirty lines must have been persisted and the DRAM working copy must
 // match the last store of every line with no dirty copy left; after drain
 // the DRAM image must equal the golden final image exactly.
-func replayBaseline(p Params, name string, res *Result, bus *obs.Bus) *Divergence {
+func replayBaseline(p Params, src stepSource, name string, res *Result, bus *obs.Bus) (*Divergence, error) {
 	cfg := p.Config()
 	cfg.Obs = bus
-	ops := p.Ops()
 	s := newBaseline(name, &cfg)
 	clocks := sim.NewClocks(cfg.Cores)
 	s.Bind(clocks)
@@ -249,7 +282,8 @@ func replayBaseline(p Params, name string, res *Result, bus *obs.Bus) *Divergenc
 	last := make(map[uint64]uint64)
 	crash := p.crashSteps()
 	prevEpoch := s.Epoch()
-	for i, op := range ops {
+	var dd *Divergence
+	err := src.each(p.Steps, func(i int, op Step) bool {
 		lat := s.Access(op.Tid, op.Addr, op.Write, op.Data)
 		clocks.Advance(op.Tid, lat+pipelineCost)
 		if op.Write {
@@ -257,26 +291,36 @@ func replayBaseline(p Params, name string, res *Result, bus *obs.Bus) *Divergenc
 		}
 		if e := s.Epoch(); e != prevEpoch {
 			if e < prevEpoch {
-				return div("epoch-regression", i, "epoch fell from %d to %d", prevEpoch, e)
+				dd = div("epoch-regression", i, "epoch fell from %d to %d", prevEpoch, e)
+				return false
 			}
 			if d := checkBaselineBoundary(p, name, s, &cfg, last, i); d != nil {
-				return d
+				dd = d
+				return false
 			}
 			prevEpoch = e
 		}
 		if crash[i] {
 			if err := s.Hierarchy().CheckInvariants(); err != nil {
-				return div("hierarchy-invariant", i, "%v", err)
+				dd = div("hierarchy-invariant", i, "%v", err)
+				return false
 			}
 		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dd != nil {
+		return dd, nil
 	}
 	s.Drain(clocks.Max())
 	for _, addr := range sortedAddrs(last) {
 		if got := s.DRAM().Data(addr); got != last[addr] {
-			return div("final-dram", -1, "line %#x = %d after drain, want %d", addr, got, last[addr])
+			return div("final-dram", -1, "line %#x = %d after drain, want %d", addr, got, last[addr]), nil
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // checkBaselineBoundary asserts the scheme-specific boundary contract.
@@ -354,10 +398,17 @@ func Minimize(p Params) int {
 	return hi
 }
 
-// runPrefix replays the first n steps and crash-verifies at the cut.
+// runPrefix replays the first n generated steps and crash-verifies at the
+// cut. Minimize always bisects against the generator: a recorded trace
+// decodes to the identical stream, so the minimized reproducer holds for
+// file-backed runs too.
 func runPrefix(p Params, n int) *Divergence {
 	var scratch Result
-	return replayNVOverlay(p, &scratch, n, false, nil)
+	d, err := replayNVOverlay(p, genSource{p}, &scratch, n, false, nil)
+	if err != nil {
+		panic(err) // generated sources cannot fail
+	}
+	return d
 }
 
 // diffImages renders a deterministic, sorted sample of the differences

@@ -114,10 +114,14 @@ func (p Params) Config() sim.Config {
 	return cfg
 }
 
-// Ops deterministically generates the trace from the seed. Thread choice,
-// region choice, line choice and load/store choice all come from one
-// internal/sim PRNG stream, so the trace is bit-identical across runs.
-func (p Params) Ops() []Step {
+// Each deterministically generates the first n trace steps from the seed,
+// streaming each to f in order without materialising the trace; f returns
+// false to stop early. Thread choice, region choice, line choice and
+// load/store choice all come from one internal/sim PRNG stream consumed
+// strictly in step order, so the stream is bit-identical across runs and
+// any prefix of a longer trace equals the shorter trace outright — the
+// property the file-backed replay and Minimize both lean on.
+func (p Params) Each(n int, f func(i int, s Step) bool) {
 	cfg := p.Config()
 	rng := sim.NewRNG(p.Seed)
 	line := uint64(cfg.LineSize)
@@ -125,8 +129,7 @@ func (p Params) Ops() []Step {
 	if hot < 1 {
 		hot = 1
 	}
-	ops := make([]Step, 0, p.Steps)
-	for i := 0; i < p.Steps; i++ {
+	for i := 0; i < n; i++ {
 		tid := rng.Intn(p.Cores)
 		var idx int
 		switch p.Pattern {
@@ -150,8 +153,20 @@ func (p Params) Ops() []Step {
 			st.Write = true
 			st.Data = uint64(i) + 1
 		}
-		ops = append(ops, st)
+		if !f(i, st) {
+			return
+		}
 	}
+}
+
+// Ops materialises the full trace. Short traces and tests use it; the
+// replay paths stream via Each so trace length never dictates memory.
+func (p Params) Ops() []Step {
+	ops := make([]Step, 0, p.Steps)
+	p.Each(p.Steps, func(_ int, s Step) bool {
+		ops = append(ops, s)
+		return true
+	})
 	return ops
 }
 

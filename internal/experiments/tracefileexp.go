@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracefile"
+)
+
+// TraceFileStats summarizes one trace-codec profile: a synthetic access
+// stream encoded to a TRC1 file and decoded back with full verification.
+// The size fields are deterministic functions of (records, seed); the
+// throughput fields are wall-clock measurements and therefore pointers —
+// nil (omitted from JSON) when no clock is injected, so deterministic
+// consumers can diff the rest.
+type TraceFileStats struct {
+	Records        uint64  `json:"records"`
+	Chunks         int     `json:"chunks"`
+	BytesOnDisk    int64   `json:"bytes_on_disk"`
+	BytesPerAccess float64 `json:"bytes_per_access"`
+
+	EncodeAccessesPerSec *float64 `json:"encode_accesses_per_sec,omitempty"`
+	DecodeAccessesPerSec *float64 `json:"decode_accesses_per_sec,omitempty"`
+}
+
+// traceFileBlock pre-generates the repeating access block the profile
+// streams: a fixed-size slice reused for any record count, so the
+// profile's memory stays flat in trace length and the measured loop is
+// codec cost, not generation cost. The mix mirrors a driver stream —
+// 16 threads, line-aligned addresses over a 16 MB span, half stores with
+// monotonic payload tokens.
+func traceFileBlock(seed int64) []trace.Access {
+	rng := sim.NewRNG(seed)
+	block := make([]trace.Access, 1<<16)
+	var token uint64
+	for i := range block {
+		a := trace.Access{
+			Tid:  int(rng.Uint64n(16)),
+			Addr: (1 << 30) + rng.Uint64n(1<<18)<<6,
+		}
+		if rng.Uint64n(100) < 50 {
+			token++
+			a.Write = true
+			a.Data = token
+		}
+		block[i] = a
+	}
+	return block
+}
+
+// TraceFileProfile encodes a records-long synthetic stream into a TRC1
+// trace at path, then decodes it back, verifying every record and the
+// counters before publishing any numbers. clock is an injected monotonic
+// seconds source (the sim layer bans wall-clock reads; cmd/nvbench
+// supplies one); with a nil clock the throughput fields stay nil and the
+// remaining stats are fully deterministic.
+func TraceFileProfile(fsys fault.FS, path string, records uint64, seed int64, clock func() float64) (TraceFileStats, error) {
+	if records == 0 {
+		return TraceFileStats{}, fmt.Errorf("tracefile profile: need at least one record")
+	}
+	block := traceFileBlock(seed)
+	now := clock
+	if now == nil {
+		now = func() float64 { return 0 }
+	}
+
+	shape := tracefile.Shape{Cores: 16, CoresPerVD: 4, LineSize: 64, Seed: seed}
+	encStart := now()
+	w, err := tracefile.Create(fsys, path, shape)
+	if err != nil {
+		return TraceFileStats{}, err
+	}
+	j := 0
+	for i := uint64(0); i < records; i++ {
+		if err := w.Append(block[j]); err != nil {
+			return TraceFileStats{}, err
+		}
+		if j++; j == len(block) {
+			j = 0
+		}
+	}
+	if err := w.Close(); err != nil {
+		return TraceFileStats{}, err
+	}
+	encSecs := now() - encStart
+
+	// Timed pass: pure decode, so the published rate is the codec's, not
+	// the harness's compare loop.
+	decStart := now()
+	r, err := tracefile.OpenReader(fsys, path)
+	if err != nil {
+		return TraceFileStats{}, err
+	}
+	var decoded uint64
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return TraceFileStats{}, fmt.Errorf("tracefile profile: decode at record %d: %w", decoded, err)
+		}
+		decoded++
+	}
+	decSecs := now() - decStart
+	if cerr := r.Close(); cerr != nil {
+		return TraceFileStats{}, cerr
+	}
+	if decoded != records || r.Records() != records {
+		return TraceFileStats{}, fmt.Errorf("tracefile profile: decoded %d records (reader counted %d), wrote %d", decoded, r.Records(), records)
+	}
+	if r.Chunks() != w.Chunks() {
+		return TraceFileStats{}, fmt.Errorf("tracefile profile: decoded %d chunks, wrote %d", r.Chunks(), w.Chunks())
+	}
+
+	// Untimed pass: verify every decoded record against the source stream
+	// before publishing any numbers.
+	v, err := tracefile.OpenReader(fsys, path)
+	if err != nil {
+		return TraceFileStats{}, err
+	}
+	j = 0
+	for k := uint64(0); k < records; k++ {
+		a, err := v.Next()
+		if err != nil {
+			return TraceFileStats{}, fmt.Errorf("tracefile profile: verify at record %d: %w", k, err)
+		}
+		if a != block[j] {
+			return TraceFileStats{}, fmt.Errorf("tracefile profile: record %d decoded as %+v, want %+v", k, a, block[j])
+		}
+		if j++; j == len(block) {
+			j = 0
+		}
+	}
+	if _, err := v.Next(); err != io.EOF {
+		return TraceFileStats{}, fmt.Errorf("tracefile profile: trailing records beyond %d", records)
+	}
+	if cerr := v.Close(); cerr != nil {
+		return TraceFileStats{}, cerr
+	}
+
+	st := TraceFileStats{
+		Records:        records,
+		Chunks:         w.Chunks(),
+		BytesOnDisk:    w.Bytes(),
+		BytesPerAccess: float64(w.Bytes()) / float64(records),
+	}
+	if clock != nil {
+		if rate := rateOf(records, encSecs); rate != nil {
+			st.EncodeAccessesPerSec = rate
+		}
+		if rate := rateOf(records, decSecs); rate != nil {
+			st.DecodeAccessesPerSec = rate
+		}
+	}
+	return st, nil
+}
+
+// rateOf converts a count over a duration into an accesses/sec pointer,
+// nil when the duration is unusable (zero, negative, or non-finite).
+func rateOf(count uint64, secs float64) *float64 {
+	if secs <= 0 {
+		return nil
+	}
+	v := float64(count) / secs
+	return &v
+}
+
+// PrintTraceFile renders the profile in nvbench's table style.
+func PrintTraceFile(w io.Writer, st TraceFileStats) {
+	fmt.Fprintf(w, "\n== tracefile: TRC1 codec profile (%d accesses) ==\n", st.Records)
+	fmt.Fprintf(w, "  on disk        %d bytes in %d chunks (%.2f bytes/access)\n",
+		st.BytesOnDisk, st.Chunks, st.BytesPerAccess)
+	if st.EncodeAccessesPerSec != nil {
+		fmt.Fprintf(w, "  encode         %.1fM accesses/sec\n", *st.EncodeAccessesPerSec/1e6)
+	}
+	if st.DecodeAccessesPerSec != nil {
+		fmt.Fprintf(w, "  decode         %.1fM accesses/sec\n", *st.DecodeAccessesPerSec/1e6)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracefile"
+	"repro/internal/workload"
+)
+
+// TestTraceFileProfileDeterministic: without a clock the profile's stats
+// are a pure function of (records, seed) and the throughput fields stay
+// omitted.
+func TestTraceFileProfileDeterministic(t *testing.T) {
+	run := func() TraceFileStats {
+		st, err := TraceFileProfile(fault.NewMemFS(), "p.trc", 200_000, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("profile not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.EncodeAccessesPerSec != nil || a.DecodeAccessesPerSec != nil {
+		t.Fatalf("clockless profile reported throughput: %+v", a)
+	}
+	if a.Records != 200_000 || a.Chunks < 2 || a.BytesOnDisk <= 0 {
+		t.Fatalf("profile counters implausible: %+v", a)
+	}
+	// Delta/varint encoding must land well under raw 25-byte records.
+	if a.BytesPerAccess > 10 {
+		t.Fatalf("%.2f bytes/access — compression is not working", a.BytesPerAccess)
+	}
+
+	// With a fake clock the rates appear and use the injected times.
+	ticks := 0.0
+	clock := func() float64 { ticks += 0.5; return ticks }
+	st, err := TraceFileProfile(fault.NewMemFS(), "p.trc", 10_000, 7, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EncodeAccessesPerSec == nil || st.DecodeAccessesPerSec == nil {
+		t.Fatalf("clocked profile missing throughput: %+v", st)
+	}
+}
+
+// TestDriverRecordReplayThroughTraceFile is the acceptance lock at the
+// experiments level: a real NVOverlay scheme driven by a real workload,
+// recorded through the on-disk codec, then replayed from the file into a
+// fresh scheme — scheme stats, NVM byte counters, clocks and the final
+// golden image must all be byte-identical.
+func TestDriverRecordReplayThroughTraceFile(t *testing.T) {
+	const maxAccesses = 120_000
+	cfg := sim.DefaultConfig()
+	cfg.EpochSize = 4_000
+
+	runRecorded := func(fsys fault.FS) (trace.Summary, string) {
+		c := cfg
+		s, err := NewScheme("NVOverlay", &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := workload.Get("hashtable")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := trace.NewDriver(&c, s, wl, maxAccesses)
+		w, err := tracefile.Create(fsys, "run.trc", tracefile.Shape{
+			Cores: c.Cores, CoresPerVD: c.CoresPerVD, LineSize: c.LineSize, Seed: c.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetSink(w)
+		sum := d.Run()
+		if err := d.SinkErr(); err != nil {
+			t.Fatalf("record sink: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Records() != sum.Accesses {
+			t.Fatalf("recorded %d accesses, driver issued %d", w.Records(), sum.Accesses)
+		}
+		return sum, s.Stats().String()
+	}
+
+	replayFromFile := func(fsys fault.FS) (trace.Summary, string) {
+		c := cfg
+		s, err := NewScheme("NVOverlay", &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tracefile.OpenReader(fsys, "run.trc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := trace.NewDriver(&c, s, nil, maxAccesses)
+		sum, err := d.RunReplay(r)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sum, s.Stats().String()
+	}
+
+	fsys := fault.NewMemFS()
+	want, wantStats := runRecorded(fsys)
+	got, gotStats := replayFromFile(fsys)
+	if wantStats != gotStats {
+		t.Fatalf("scheme stats diverged under file replay:\nrecorded:\n%s\nreplayed:\n%s", wantStats, gotStats)
+	}
+
+	// Workload identity and heap footprint legitimately differ (no
+	// workload ran on the replay side); everything the scheme computed
+	// must not.
+	want.Workload, got.Workload = "", ""
+	want.Ops, got.Ops = 0, 0
+	want.Footprint, got.Footprint = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("file replay diverged from the recorded run:\nrecorded %+v\nreplayed %+v", want, got)
+	}
+}

@@ -6,6 +6,9 @@
 package trace
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -16,6 +19,31 @@ type Op struct {
 	Addr  uint64
 	Write bool
 	Data  uint64 // payload token for stores
+}
+
+// Access is one issued access with its thread attached — the unit the
+// record/replay plane moves: a Driver with a Sink emits the stream it
+// issues, and RunReplay consumes the same stream from a Source.
+type Access struct {
+	Tid   int
+	Addr  uint64
+	Write bool
+	Data  uint64 // payload token for stores
+}
+
+// Sink receives the access stream a driver issues, in issue order.
+// *tracefile.Writer implements it. A Sink error latches: the driver stops
+// feeding the sink and reports the error via SinkErr, without perturbing
+// the run itself.
+type Sink interface {
+	Append(a Access) error
+}
+
+// Source supplies a recorded access stream for RunReplay. A clean end of
+// stream is io.EOF; any other error aborts the replay.
+// *tracefile.Reader implements it.
+type Source interface {
+	Next() (Access, error)
 }
 
 // Scheme is a complete snapshotting design under test: NVOverlay or one of
@@ -186,6 +214,8 @@ type Driver struct {
 	issued  uint64
 	target  uint64
 	perOpNs uint64
+	sink    Sink
+	sinkErr error
 }
 
 // pipelineCost is the non-memory work charged per access (a 4-wide core
@@ -210,20 +240,91 @@ func NewDriver(cfg *sim.Config, scheme Scheme, wl Workload, maxAccesses uint64) 
 		d.rngs[i] = sim.NewRNG(cfg.Seed + int64(i)*7919)
 	}
 	scheme.Bind(d.clocks)
-	scheme.NVM().SetProgress(func() float64 {
-		if d.target == 0 {
-			return 0
-		}
-		return float64(d.issued) / float64(d.target)
-	})
+	scheme.NVM().SetProgress(d.progress)
 	return d
 }
+
+// progress reports run completion in [0, 1] for bandwidth-over-progress
+// bucketing. The final workload operation can push issued past target by a
+// few accesses before the driver notices, so the ratio is clamped: a >1.0
+// progress value would land bandwidth samples in a phantom bucket past the
+// end of the time series.
+func (d *Driver) progress() float64 {
+	if d.target == 0 {
+		return 0
+	}
+	p := float64(d.issued) / float64(d.target)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SetSink attaches a record sink; every access the driver issues is
+// appended in issue order. Attach before Run. A nil sink detaches.
+func (d *Driver) SetSink(s Sink) { d.sink = s }
+
+// SinkErr returns the first error the record sink reported, if any. After
+// an error the driver stops feeding the sink but completes the run.
+func (d *Driver) SinkErr() error { return d.sinkErr }
 
 // Clocks exposes the thread clocks (tests use this).
 func (d *Driver) Clocks() *sim.Clocks { return d.clocks }
 
 // Heap exposes the tracked heap.
 func (d *Driver) Heap() *Heap { return d.heap }
+
+// issue charges one access to tid: scheme access, clock advance, golden
+// image update, record sink, periodic NVM tick. It is the single path both
+// Run and RunReplay go through, so a replayed stream drives the scheme
+// through exactly the state sequence of the run that recorded it.
+func (d *Driver) issue(tid int, addr uint64, write bool, data uint64, stores *uint64) {
+	lat := d.scheme.Access(tid, addr, write, data)
+	d.clocks.Advance(tid, lat+pipelineCost)
+	d.issued++
+	if write {
+		*stores++
+		d.final[d.cfg.LineAddr(addr)] = data
+	}
+	if d.sink != nil && d.sinkErr == nil {
+		if err := d.sink.Append(Access{Tid: tid, Addr: addr, Write: write, Data: data}); err != nil {
+			d.sinkErr = err
+		}
+	}
+	if d.issued%256 == 0 {
+		d.scheme.NVM().Tick(d.clocks.Max())
+	}
+}
+
+// teardown drains the scheme at end of run. Teardown (drain + seal) is not
+// part of the run's bandwidth profile, so the progress hook comes off
+// first.
+func (d *Driver) teardown() {
+	end := d.clocks.Max()
+	d.scheme.NVM().Tick(end)
+	d.scheme.NVM().SetProgress(nil)
+	d.scheme.Drain(end)
+}
+
+// summary assembles the run report shared by Run and RunReplay.
+func (d *Driver) summary(workload string, ops, stores uint64) Summary {
+	nvm := d.scheme.NVM()
+	return Summary{
+		Scheme:    d.scheme.Name(),
+		Workload:  workload,
+		Cycles:    d.clocks.Max(),
+		Accesses:  d.issued,
+		Stores:    stores,
+		Ops:       ops,
+		NVMBytes:  nvm.TotalBytes(),
+		DataBytes: nvm.Bytes(mem.WData),
+		LogBytes:  nvm.Bytes(mem.WLog),
+		MetaBytes: nvm.Bytes(mem.WMeta),
+		CtxBytes:  nvm.Bytes(mem.WContext),
+		Footprint: d.heap.Footprint(),
+		Final:     d.final,
+	}
+}
 
 // Run executes the workload to completion or until maxAccesses, drains the
 // scheme, and returns the run summary.
@@ -246,39 +347,42 @@ func (d *Driver) Run() Summary {
 		}
 		ops++
 		for _, op := range d.heap.Ops() {
-			lat := d.scheme.Access(tid, op.Addr, op.Write, op.Data)
-			d.clocks.Advance(tid, lat+pipelineCost)
-			d.issued++
-			if op.Write {
-				stores++
-				d.final[d.cfg.LineAddr(op.Addr)] = op.Data
+			// The bound is exact: a multi-access final op (a StoreRange,
+			// say) stops mid-op rather than overshooting maxAccesses.
+			if d.issued >= d.target {
+				break
 			}
-			if d.issued%256 == 0 {
-				d.scheme.NVM().Tick(d.clocks.Max())
-			}
+			d.issue(tid, op.Addr, op.Write, op.Data, &stores)
 		}
 		d.heap.ResetOps()
 	}
-	end := d.clocks.Max()
-	// Teardown (drain + seal) is not part of the run's bandwidth profile.
-	d.scheme.NVM().Tick(end)
-	d.scheme.NVM().SetProgress(nil)
-	d.scheme.Drain(end)
+	d.teardown()
+	return d.summary(d.wl.Name(), ops, stores)
+}
 
-	nvm := d.scheme.NVM()
-	return Summary{
-		Scheme:    d.scheme.Name(),
-		Workload:  d.wl.Name(),
-		Cycles:    d.clocks.Max(),
-		Accesses:  d.issued,
-		Stores:    stores,
-		Ops:       ops,
-		NVMBytes:  nvm.TotalBytes(),
-		DataBytes: nvm.Bytes(mem.WData),
-		LogBytes:  nvm.Bytes(mem.WLog),
-		MetaBytes: nvm.Bytes(mem.WMeta),
-		CtxBytes:  nvm.Bytes(mem.WContext),
-		Footprint: d.heap.Footprint(),
-		Final:     d.final,
+// RunReplay drives the scheme from a recorded access stream instead of a
+// workload, honouring the same maxAccesses bound, tick cadence, and
+// teardown as Run. A driver replaying a trace recorded by an identically
+// configured driver reproduces its scheme stats and golden image exactly.
+// The workload may be nil (replay drivers need none); Summary.Ops and
+// Summary.Footprint are zero since no workload ran.
+func (d *Driver) RunReplay(src Source) (Summary, error) {
+	var stores uint64
+	var err error
+	for d.issued < d.target {
+		var a Access
+		if a, err = src.Next(); err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			break
+		}
+		if a.Tid < 0 || a.Tid >= d.cfg.Cores {
+			err = fmt.Errorf("trace: replayed tid %d out of range for %d cores", a.Tid, d.cfg.Cores)
+			break
+		}
+		d.issue(a.Tid, a.Addr, a.Write, a.Data, &stores)
 	}
+	d.teardown()
+	return d.summary("replay", 0, stores), err
 }
